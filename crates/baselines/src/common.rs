@@ -1,0 +1,209 @@
+//! Pieces shared by the baseline implementations: the standard readout heads
+//! and hop-scheduled layer propagation over ego subgraphs.
+
+use gaia_graph::EgoSubgraph;
+use gaia_nn::{init, Conv1d, Linear, ParamId, ParamStore};
+use gaia_tensor::{Graph, PadMode, Tensor, VarId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Readout from a temporal representation `[T, C]` to `[1, T']`:
+/// channel-pooling convolution, then a `T -> T'` projection and ReLU (the
+/// same output parameterisation Gaia uses, so heads don't confound Table I).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalHead {
+    l_p: Conv1d,
+    w_p: ParamId,
+    b_p: ParamId,
+}
+
+impl TemporalHead {
+    /// Register head parameters for window `t`, channels `c`, horizon `h`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamStore,
+        name: &str,
+        t: usize,
+        c: usize,
+        horizon: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            l_p: Conv1d::new(ps, &format!("{name}.lp"), 1, c, 1, PadMode::Causal, true, rng),
+            w_p: ps.add(format!("{name}.wp"), init::xavier(t, horizon, rng)),
+            b_p: ps.add(format!("{name}.bp"), Tensor::full(vec![horizon], gaia_synth::TARGET_SHIFT)),
+        }
+    }
+
+    /// `[T, C] -> [1, T']`.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, h: VarId) -> VarId {
+        let pooled = self.l_p.forward(g, ps, h);
+        let row = g.transpose(pooled);
+        let wp = ps.bind(g, self.w_p);
+        let proj = g.matmul(row, wp);
+        let bp = ps.bind(g, self.b_p);
+        let out = g.add_bias(proj, bp);
+        g.relu(out)
+    }
+}
+
+/// Readout from a flat representation `[1, C]` to `[1, T']` for the pure
+/// GNN baselines that collapse the window into a vector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlatHead {
+    out: Linear,
+}
+
+impl FlatHead {
+    /// Register head parameters.
+    pub fn new<R: Rng>(
+        ps: &mut ParamStore,
+        name: &str,
+        c: usize,
+        horizon: usize,
+        rng: &mut R,
+    ) -> Self {
+        let out = Linear::new(ps, &format!("{name}.out"), c, horizon, true, rng);
+        // Start as the mean predictor: bias at the target shift.
+        if let Some(b) = out.b {
+            let bias = ps.get_mut(b);
+            for x in bias.data_mut() {
+                *x = gaia_synth::TARGET_SHIFT;
+            }
+        }
+        Self { out }
+    }
+
+    /// `[1, C] -> [1, T']`.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, h: VarId) -> VarId {
+        let y = self.out.forward(g, ps, h);
+        g.relu(y)
+    }
+}
+
+/// Hop-scheduled propagation: apply `layer_fn` layer by layer, refreshing
+/// only nodes whose hop distance is within the remaining receptive field of
+/// the centre (local node 0). `layer_fn(g, layer_index, h, u)` returns the
+/// new representation of local node `u`.
+pub fn propagate<F>(
+    g: &mut Graph,
+    ego: &EgoSubgraph,
+    init: Vec<VarId>,
+    n_layers: usize,
+    mut layer_fn: F,
+) -> Vec<VarId>
+where
+    F: FnMut(&mut Graph, usize, &[VarId], usize) -> VarId,
+{
+    let n = ego.len();
+    let mut h = init;
+    for l in 1..=n_layers {
+        let mut next = h.clone();
+        for u in 0..n {
+            if (ego.hops[u] as usize) <= n_layers - l {
+                next[u] = layer_fn(g, l - 1, &h, u);
+            }
+        }
+        h = next;
+    }
+    h
+}
+
+/// Mean of neighbour representations (plus `self` when `include_self`),
+/// or just `h[u]` for isolated nodes.
+pub fn neighbor_mean(
+    g: &mut Graph,
+    ego: &EgoSubgraph,
+    h: &[VarId],
+    u: usize,
+    include_self: bool,
+) -> VarId {
+    let mut parts: Vec<VarId> = ego.neighbors(u).iter().map(|nb| h[nb.local as usize]).collect();
+    if include_self || parts.is_empty() {
+        parts.push(h[u]);
+    }
+    let n = parts.len() as f32;
+    let sum = g.sum_vars(&parts);
+    g.scale(sum, 1.0 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_ego() -> EgoSubgraph {
+        let graph = EsellerGraph::from_edges(
+            4,
+            &[
+                Edge { src: 0, dst: 1, ty: EdgeType::SameOwner },
+                Edge { src: 1, dst: 2, ty: EdgeType::SameOwner },
+                Edge { src: 2, dst: 3, ty: EdgeType::SameOwner },
+            ],
+        );
+        extract_ego(&graph, 0, &EgoConfig { hops: 2, fanout: 8 }, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn temporal_head_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let head = TemporalHead::new(&mut ps, "h", 12, 8, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::randn(vec![12, 8], 1.0, &mut rng));
+        let y = head.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).shape(), &[1, 3]);
+        assert!(g.value(y).data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn flat_head_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps = ParamStore::new();
+        let head = FlatHead::new(&mut ps, "h", 8, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::randn(vec![1, 8], 1.0, &mut rng));
+        let y = head.forward(&mut g, &ps, x);
+        assert_eq!(g.value(y).shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn propagate_only_refreshes_receptive_field() {
+        let ego = chain_ego(); // nodes 0,1,2 at hops 0,1,2
+        let mut g = Graph::new();
+        let init: Vec<VarId> =
+            (0..ego.len()).map(|_| g.constant(Tensor::zeros(vec![2, 2]))).collect();
+        let mut touched: Vec<Vec<usize>> = vec![Vec::new(); 2];
+        let out = propagate(&mut g, &ego, init, 2, |g, l, _h, u| {
+            touched[l].push(u);
+            g.constant(Tensor::ones(vec![2, 2]))
+        });
+        // Layer 1 refreshes hops <= 1 (nodes 0, 1); layer 2 only the centre.
+        assert_eq!(touched[0], vec![0, 1]);
+        assert_eq!(touched[1], vec![0]);
+        assert_eq!(out.len(), ego.len());
+    }
+
+    #[test]
+    fn neighbor_mean_isolated_returns_self() {
+        let graph = EsellerGraph::from_edges(1, &[]);
+        let ego =
+            extract_ego(&graph, 0, &EgoConfig::default(), &mut StdRng::seed_from_u64(4));
+        let mut g = Graph::new();
+        let h = vec![g.constant(Tensor::full(vec![1, 2], 3.0))];
+        let m = neighbor_mean(&mut g, &ego, &h, 0, false);
+        assert_eq!(g.value(m).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn neighbor_mean_averages() {
+        let ego = chain_ego();
+        let mut g = Graph::new();
+        let h: Vec<VarId> =
+            (0..ego.len()).map(|i| g.constant(Tensor::full(vec![1, 1], i as f32))).collect();
+        // Node 0's only neighbour is node 1 (local index 1).
+        let m = neighbor_mean(&mut g, &ego, &h, 0, true);
+        assert_eq!(g.value(m).data(), &[0.5]); // mean(h0=0, h1=1)
+    }
+}

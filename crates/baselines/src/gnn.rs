@@ -1,0 +1,385 @@
+//! The "GNN based methods" group of Table I: GAT, GraphSAGE and GeniePath.
+//!
+//! As in the paper's grouping, these models consume the graph structure but
+//! treat each shop's window as a *flat* feature vector — they have no
+//! dedicated temporal machinery, which is exactly why the STGNN group (and
+//! Gaia) outperform them.
+
+use crate::common::{neighbor_mean, propagate, FlatHead};
+use gaia_core::api::{inputs, GraphForecaster};
+use gaia_graph::{EgoConfig, EgoSubgraph};
+use gaia_nn::{Linear, LstmCell, ParamStore};
+use gaia_synth::Dataset;
+use gaia_tensor::{Graph, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Shared hyper-parameters for the GNN group (2 layers per Section V-A3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GnnConfig {
+    /// Hidden width (embedding size 32).
+    pub channels: usize,
+    /// Message-passing layers (paper: 2).
+    pub layers: usize,
+    /// Neighbour fan-out for ego extraction.
+    pub fanout: usize,
+    /// Window length.
+    pub t: usize,
+    /// Horizon.
+    pub horizon: usize,
+    /// Temporal feature width.
+    pub d_t: usize,
+    /// Static feature width.
+    pub d_s: usize,
+}
+
+impl GnnConfig {
+    /// Paper-shaped defaults.
+    pub fn new(t: usize, horizon: usize, d_t: usize, d_s: usize) -> Self {
+        Self { channels: 32, layers: 2, fanout: 6, t, horizon, d_t, d_s }
+    }
+
+    fn flat_width(&self) -> usize {
+        self.t * (1 + self.d_t) + self.d_s
+    }
+
+    fn ego(&self) -> EgoConfig {
+        EgoConfig { hops: self.layers, fanout: self.fanout }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GAT
+// ---------------------------------------------------------------------------
+
+/// Graph Attention Network (Velickovic et al., 2018): attention-weighted
+/// neighbourhood aggregation with LeakyReLU-scored additive attention.
+#[derive(Clone, Debug)]
+pub struct Gat {
+    /// Hyper-parameters.
+    pub cfg: GnnConfig,
+    ps: ParamStore,
+    input: Linear,
+    layers: Vec<GatLayer>,
+    head: FlatHead,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct GatLayer {
+    w: Linear,
+    attn: Linear,
+}
+
+impl Gat {
+    /// Construct with seeded initialisation.
+    pub fn new(cfg: GnnConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let input = Linear::new(&mut ps, "gat.input", cfg.flat_width(), cfg.channels, true, &mut rng);
+        let layers = (0..cfg.layers)
+            .map(|l| GatLayer {
+                w: Linear::new(&mut ps, &format!("gat.l{l}.w"), cfg.channels, cfg.channels, false, &mut rng),
+                attn: Linear::new(&mut ps, &format!("gat.l{l}.a"), 2 * cfg.channels, 1, false, &mut rng),
+            })
+            .collect();
+        let head = FlatHead::new(&mut ps, "gat.head", cfg.channels, cfg.horizon, &mut rng);
+        Self { cfg, ps, input, layers, head }
+    }
+}
+
+fn leaky_relu(g: &mut Graph, x: VarId, slope: f32) -> VarId {
+    // LeakyReLU(x) = ReLU(x) - slope * ReLU(-x).
+    let pos = g.relu(x);
+    let neg_x = g.scale(x, -1.0);
+    let neg = g.relu(neg_x);
+    let scaled = g.scale(neg, -slope);
+    g.add(pos, scaled)
+}
+
+impl GatLayer {
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        ego: &EgoSubgraph,
+        h: &[VarId],
+        u: usize,
+    ) -> VarId {
+        let wh_u = self.w.forward(g, ps, h[u]);
+        // Self-loop plus neighbours, attention-normalised.
+        let mut cands = vec![wh_u];
+        for nb in ego.neighbors(u) {
+            cands.push(self.w.forward(g, ps, h[nb.local as usize]));
+        }
+        let mut logits = Vec::with_capacity(cands.len());
+        for &wh_v in &cands {
+            let cat = g.concat_cols(&[cands[0], wh_v]);
+            let score = self.attn.forward(g, ps, cat); // [1, 1]
+            let score = leaky_relu(g, score, 0.2);
+            logits.push(g.reshape(score, vec![1]));
+        }
+        let stacked = g.stack_scalars(&logits);
+        let alphas = g.softmax_vec(stacked);
+        let mut weighted = Vec::with_capacity(cands.len());
+        for (i, &wh_v) in cands.iter().enumerate() {
+            let a = g.index_vec(alphas, i);
+            weighted.push(g.mul_scalar(wh_v, a));
+        }
+        let agg = g.sum_vars(&weighted);
+        g.tanh(agg)
+    }
+}
+
+impl GraphForecaster for Gat {
+    fn name(&self) -> &str {
+        "GAT"
+    }
+    fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+    fn ego_config(&self) -> EgoConfig {
+        self.cfg.ego()
+    }
+
+    fn forward_center(&self, g: &mut Graph, ds: &Dataset, ego: &EgoSubgraph) -> VarId {
+        let init: Vec<VarId> = (0..ego.len())
+            .map(|v| {
+                let flat = inputs::flat_features(g, ds, ego.nodes[v] as usize);
+                let x = self.input.forward(g, &self.ps, flat);
+                g.tanh(x)
+            })
+            .collect();
+        let h = propagate(g, ego, init, self.cfg.layers, |g, l, h, u| {
+            self.layers[l].forward(g, &self.ps, ego, h, u)
+        });
+        self.head.forward(g, &self.ps, h[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE
+// ---------------------------------------------------------------------------
+
+/// GraphSAGE (Hamilton et al., 2017) with the mean aggregator:
+/// `h'_u = ReLU(W [h_u || mean_{v in N(u)} h_v])`.
+#[derive(Clone, Debug)]
+pub struct GraphSage {
+    /// Hyper-parameters.
+    pub cfg: GnnConfig,
+    ps: ParamStore,
+    input: Linear,
+    layers: Vec<Linear>,
+    head: FlatHead,
+}
+
+impl GraphSage {
+    /// Construct with seeded initialisation.
+    pub fn new(cfg: GnnConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let input =
+            Linear::new(&mut ps, "sage.input", cfg.flat_width(), cfg.channels, true, &mut rng);
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                Linear::new(&mut ps, &format!("sage.l{l}"), 2 * cfg.channels, cfg.channels, true, &mut rng)
+            })
+            .collect();
+        let head = FlatHead::new(&mut ps, "sage.head", cfg.channels, cfg.horizon, &mut rng);
+        Self { cfg, ps, input, layers, head }
+    }
+}
+
+impl GraphForecaster for GraphSage {
+    fn name(&self) -> &str {
+        "GraphSage"
+    }
+    fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+    fn ego_config(&self) -> EgoConfig {
+        self.cfg.ego()
+    }
+
+    fn forward_center(&self, g: &mut Graph, ds: &Dataset, ego: &EgoSubgraph) -> VarId {
+        let init: Vec<VarId> = (0..ego.len())
+            .map(|v| {
+                let flat = inputs::flat_features(g, ds, ego.nodes[v] as usize);
+                let x = self.input.forward(g, &self.ps, flat);
+                g.tanh(x)
+            })
+            .collect();
+        let h = propagate(g, ego, init, self.cfg.layers, |g, l, h, u| {
+            let mean = neighbor_mean(g, ego, h, u, false);
+            let cat = g.concat_cols(&[h[u], mean]);
+            let y = self.layers[l].forward(g, &self.ps, cat);
+            g.relu(y)
+        });
+        self.head.forward(g, &self.ps, h[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GeniePath
+// ---------------------------------------------------------------------------
+
+/// GeniePath (Liu et al., AAAI 2019): adaptive receptive paths — a GAT-style
+/// *breadth* (which neighbours) step followed by an LSTM *depth* (how far)
+/// gate across layers.
+#[derive(Clone, Debug)]
+pub struct GeniePath {
+    /// Hyper-parameters.
+    pub cfg: GnnConfig,
+    ps: ParamStore,
+    input: Linear,
+    breadth: Vec<GatLayer>,
+    depth: LstmCell,
+    head: FlatHead,
+}
+
+impl GeniePath {
+    /// Construct with seeded initialisation.
+    pub fn new(cfg: GnnConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let input =
+            Linear::new(&mut ps, "genie.input", cfg.flat_width(), cfg.channels, true, &mut rng);
+        let breadth = (0..cfg.layers)
+            .map(|l| GatLayer {
+                w: Linear::new(&mut ps, &format!("genie.b{l}.w"), cfg.channels, cfg.channels, false, &mut rng),
+                attn: Linear::new(&mut ps, &format!("genie.b{l}.a"), 2 * cfg.channels, 1, false, &mut rng),
+            })
+            .collect();
+        let depth = LstmCell::new(&mut ps, "genie.depth", cfg.channels, cfg.channels, &mut rng);
+        let head = FlatHead::new(&mut ps, "genie.head", cfg.channels, cfg.horizon, &mut rng);
+        Self { cfg, ps, input, breadth, depth, head }
+    }
+}
+
+impl GraphForecaster for GeniePath {
+    fn name(&self) -> &str {
+        "Geniepath"
+    }
+    fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+    fn ego_config(&self) -> EgoConfig {
+        self.cfg.ego()
+    }
+
+    fn forward_center(&self, g: &mut Graph, ds: &Dataset, ego: &EgoSubgraph) -> VarId {
+        let init: Vec<VarId> = (0..ego.len())
+            .map(|v| {
+                let flat = inputs::flat_features(g, ds, ego.nodes[v] as usize);
+                let x = self.input.forward(g, &self.ps, flat);
+                g.tanh(x)
+            })
+            .collect();
+        // Depth gating: every node carries an LSTM state across layers. We
+        // track states for all local nodes (the breadth step needs refreshed
+        // neighbour representations).
+        let n = ego.len();
+        let mut h: Vec<VarId> = init;
+        let mut cell: Vec<(VarId, VarId)> = (0..n).map(|_| self.depth.zero_state(g)).collect();
+        for l in 0..self.cfg.layers {
+            let mut next = h.clone();
+            for u in 0..n {
+                if (ego.hops[u] as usize) <= self.cfg.layers - (l + 1) {
+                    let tmp = self.breadth[l].forward(g, &self.ps, ego, &h, u);
+                    let (hu, cu) = cell[u];
+                    let (h_new, c_new) = self.depth.forward(g, &self.ps, tmp, hu, cu);
+                    cell[u] = (h_new, c_new);
+                    next[u] = h_new;
+                }
+            }
+            h = next;
+        }
+        self.head.forward(g, &self.ps, h[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_core::trainer::{self, TrainConfig};
+    use gaia_graph::extract_ego;
+    use gaia_synth::{generate_dataset, WorldConfig};
+
+    fn setup() -> (gaia_synth::World, Dataset, GnnConfig) {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let mut cfg = GnnConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 12;
+        cfg.fanout = 4;
+        (world, ds, cfg)
+    }
+
+    #[test]
+    fn gat_forward_shape() {
+        let (world, ds, cfg) = setup();
+        let model = Gat::new(cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ego = extract_ego(&world.graph, 3, &model.ego_config(), &mut rng);
+        let mut g = Graph::new();
+        let y = model.forward_center(&mut g, &ds, &ego);
+        assert_eq!(g.value(y).shape(), &[1, ds.horizon]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn sage_forward_shape_isolated_ok() {
+        let (world, ds, cfg) = setup();
+        let model = GraphSage::new(cfg, 3);
+        // Find an isolated node if any, else any node.
+        let center =
+            (0..ds.n).find(|&v| world.graph.degree(v) == 0).unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ego = extract_ego(&world.graph, center, &model.ego_config(), &mut rng);
+        let mut g = Graph::new();
+        let y = model.forward_center(&mut g, &ds, &ego);
+        assert_eq!(g.value(y).shape(), &[1, ds.horizon]);
+    }
+
+    #[test]
+    fn geniepath_forward_shape() {
+        let (world, ds, cfg) = setup();
+        let model = GeniePath::new(cfg, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ego = extract_ego(&world.graph, 7, &model.ego_config(), &mut rng);
+        let mut g = Graph::new();
+        let y = model.forward_center(&mut g, &ds, &ego);
+        assert_eq!(g.value(y).shape(), &[1, ds.horizon]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn all_gnns_train() {
+        let (world, ds, cfg) = setup();
+        let tc = TrainConfig { epochs: 2, batch_size: 24, lr: 3e-3, ..TrainConfig::default() };
+        let mut gat = Gat::new(cfg.clone(), 7);
+        let r = trainer::train(&mut gat, &ds, &world.graph, &tc);
+        assert!(r.train_loss.iter().all(|l| l.is_finite()));
+        let mut sage = GraphSage::new(cfg.clone(), 8);
+        let r = trainer::train(&mut sage, &ds, &world.graph, &tc);
+        assert!(r.train_loss[1] <= r.train_loss[0] * 1.5, "{:?}", r.train_loss);
+        let mut genie = GeniePath::new(cfg, 9);
+        let r = trainer::train(&mut genie, &ds, &world.graph, &tc);
+        assert!(r.train_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn leaky_relu_values() {
+        let mut g = Graph::new();
+        let x = g.constant(gaia_tensor::Tensor::from_vec(vec![1, 2], vec![2.0, -2.0]));
+        let y = leaky_relu(&mut g, x, 0.2);
+        assert_eq!(g.value(y).data(), &[2.0, -0.4]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # gaia-baselines
+//!
+//! The nine Table I comparison methods, re-implemented on the shared
+//! substrate so every model competes on identical data, losses and
+//! optimisation:
+//!
+//! * time-series analysis: ARIMA (`arima_baseline`), LogTrans (`logtrans`);
+//! * GNN methods on flat features: GAT, GraphSAGE, GeniePath (`gnn`);
+//! * STGNN methods: STGCN, GMAN, MTGNN (`stgnn`).
+//!
+//! All neural models implement [`gaia_core::GraphForecaster`] and are trained
+//! by `gaia_core::trainer`.
+
+pub mod arima_baseline;
+pub mod common;
+pub mod gnn;
+pub mod logtrans;
+pub mod stgnn;
+
+pub use arima_baseline::{arima_forecasts, ArimaBaselineConfig};
+pub use common::{FlatHead, TemporalHead};
+pub use gnn::{Gat, GeniePath, GnnConfig, GraphSage};
+pub use logtrans::{LogTrans, LogTransConfig};
+pub use stgnn::{Gman, Mtgnn, Stgcn, StgnnConfig};

@@ -1,0 +1,121 @@
+//! Design-choice ablation benchmarks (DESIGN.md): the cost of the CAU's
+//! convolutional locality vs traditional attention, the TEL kernel group vs
+//! the single-kernel ablation, and fine vs coarse feature fusion.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaia_core::{ConvolutionalAttentionUnit, FeatureFusionLayer, GaiaConfig, GaiaVariant, TemporalEmbeddingLayer};
+use gaia_nn::ParamStore;
+use gaia_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const T: usize = 24;
+const C: usize = 32;
+
+fn bench_cau_vs_plain(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ps = ParamStore::new();
+    let cau = ConvolutionalAttentionUnit::new(&mut ps, "cau", T, C, &mut rng);
+    let plain = ConvolutionalAttentionUnit::plain(&mut ps, "plain", C, &mut rng);
+    let hu = Tensor::randn(vec![T, C], 1.0, &mut rng);
+    let hv = Tensor::randn(vec![T, C], 1.0, &mut rng);
+    let mut group = c.benchmark_group("attention_unit_fwd_bwd");
+    group.bench_function("cau_conv_masked", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let u = g.constant(hu.clone());
+            let v = g.constant(hv.clone());
+            let out = cau.forward(&mut g, &ps, u, v);
+            let loss = g.sum_all(out);
+            g.backward(loss);
+            black_box(g.len())
+        });
+    });
+    group.bench_function("traditional_self_attention", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let u = g.constant(hu.clone());
+            let v = g.constant(hv.clone());
+            let out = plain.forward(&mut g, &ps, u, v);
+            let loss = g.sum_all(out);
+            g.backward(loss);
+            black_box(g.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_tel_group_vs_single(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = GaiaConfig::new(T, 3, 5, 20);
+    let mut ps_group = ParamStore::new();
+    let tel_group = TemporalEmbeddingLayer::new(&mut ps_group, &cfg, &mut rng);
+    let mut ps_single = ParamStore::new();
+    let tel_single = TemporalEmbeddingLayer::new(
+        &mut ps_single,
+        &cfg.clone().with_variant(GaiaVariant::NoTel),
+        &mut rng,
+    );
+    let s = Tensor::randn(vec![T, C], 1.0, &mut rng);
+    let mut group = c.benchmark_group("tel_fwd");
+    group.bench_function("kernel_group_2_4_8_16", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.constant(s.clone());
+            black_box(tel_group.forward(&mut g, &ps_group, x))
+        });
+    });
+    group.bench_function("single_kernel_4xC", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.constant(s.clone());
+            black_box(tel_single.forward(&mut g, &ps_single, x))
+        });
+    });
+    group.finish();
+}
+
+fn bench_ffl_fine_vs_coarse(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = GaiaConfig::new(T, 3, 5, 20);
+    let mut ps_fine = ParamStore::new();
+    let fine = FeatureFusionLayer::new(&mut ps_fine, &cfg, &mut rng);
+    let mut ps_coarse = ParamStore::new();
+    let coarse = FeatureFusionLayer::new(
+        &mut ps_coarse,
+        &cfg.clone().with_variant(GaiaVariant::NoFfl),
+        &mut rng,
+    );
+    let z = Tensor::randn(vec![T, 1], 1.0, &mut rng);
+    let ft = Tensor::randn(vec![T, 5], 1.0, &mut rng);
+    let fs = Tensor::randn(vec![1, 20], 1.0, &mut rng);
+    let mut group = c.benchmark_group("ffl_fwd");
+    group.bench_function("fine_grained", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let zi = g.constant(z.clone());
+            let fti = g.constant(ft.clone());
+            let fsi = g.constant(fs.clone());
+            black_box(fine.forward(&mut g, &ps_fine, zi, fti, fsi))
+        });
+    });
+    group.bench_function("coarse_single_projection", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let zi = g.constant(z.clone());
+            let fti = g.constant(ft.clone());
+            let fsi = g.constant(fs.clone());
+            black_box(coarse.forward(&mut g, &ps_coarse, zi, fti, fsi))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
+    targets = bench_cau_vs_plain, bench_tel_group_vs_single, bench_ffl_fine_vs_coarse
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! One benchmark per Table I row: the forward-pass cost of every method on
+//! an identical ego subgraph, plus ARIMA fitting (its "training" happens at
+//! prediction time). This is the per-prediction cost structure behind the
+//! paper's "10 minutes for 2M e-sellers" deployment number.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaia_bench::bench_world;
+use gaia_eval::{build_model, ModelKind};
+use gaia_graph::extract_ego;
+use gaia_tensor::Graph;
+use gaia_timeseries::auto_arima;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_forward_per_model(c: &mut Criterion) {
+    let (world, ds) = bench_world();
+    // A well-connected centre so graph models do real aggregation work.
+    let center = (0..ds.n).max_by_key(|&v| world.graph.degree(v)).unwrap();
+    let mut group = c.benchmark_group("table1_forward");
+    for &kind in ModelKind::table1_neural() {
+        let model = build_model(kind, &ds, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ego = extract_ego(&world.graph, center, &model.ego_config(), &mut rng);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                black_box(model.forward_center(&mut g, &ds, &ego))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step_per_model(c: &mut Criterion) {
+    let (world, ds) = bench_world();
+    let center = (0..ds.n).max_by_key(|&v| world.graph.degree(v)).unwrap();
+    let mut group = c.benchmark_group("table1_fwd_bwd");
+    group.sample_size(20);
+    for &kind in &[ModelKind::Gaia, ModelKind::Mtgnn, ModelKind::LogTrans, ModelKind::Gat] {
+        let model = build_model(kind, &ds, 7);
+        let mut rng = StdRng::seed_from_u64(13);
+        let ego = extract_ego(&world.graph, center, &model.ego_config(), &mut rng);
+        let target = ds.target_tensor(center);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let pred = model.forward_center(&mut g, &ds, &ego);
+                let loss = g.mse(pred, &target);
+                g.backward(loss);
+                black_box(g.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_arima_fit(c: &mut Criterion) {
+    let (world, _) = bench_world();
+    let shop = world.shops.iter().find(|s| s.opened == 0).unwrap();
+    let series: Vec<f64> = shop.gmv.iter().map(|&x| (1.0 + x).ln()).collect();
+    c.bench_function("table1_arima_fit_forecast", |b| {
+        b.iter(|| {
+            let model = auto_arima(black_box(&series), 2, 2, 1);
+            black_box(model.forecast(3))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
+    targets = bench_forward_per_model, bench_train_step_per_model, bench_arima_fit
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Substrate micro-benchmarks: matmul and conv1d at the shapes the models
+//! actually use ([T, C] = [24, 32]), plus the f32 kernel scaling ablation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaia_tensor::{conv1d, PadMode, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[16usize, 32, 64, 128] {
+        let a = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        let b = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_shapes(c: &mut Criterion) {
+    // The CAU inner product: [24, 32] x [32, 24] as used per edge.
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = Tensor::randn(vec![24, 32], 1.0, &mut rng);
+    let k = Tensor::randn(vec![24, 32], 1.0, &mut rng);
+    c.bench_function("attention_qk_24x32", |b| {
+        b.iter(|| black_box(q.matmul(&k.transpose()).softmax_rows()));
+    });
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(vec![24, 32], 1.0, &mut rng);
+    let mut group = c.benchmark_group("conv1d_k_sweep");
+    for &k in &[2usize, 4, 8, 16] {
+        let w = Tensor::randn(vec![k, 32, 8], 0.3, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(conv1d(&x, &w, None, PadMode::Same)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
+    targets = bench_matmul, bench_attention_shapes, bench_conv1d
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # gaia-bench
+//!
+//! Criterion benchmarks covering the workload of every paper table/figure
+//! plus the design-choice ablations DESIGN.md calls out. Shared fixtures
+//! live here; the benchmarks are under `benches/`.
+
+use gaia_synth::{generate_dataset, Dataset, World, WorldConfig};
+
+/// A small but structurally complete world used by all benchmarks.
+pub fn bench_world() -> (World, Dataset) {
+    generate_dataset(WorldConfig { n_shops: 200, seed: 99, ..WorldConfig::default() })
+}

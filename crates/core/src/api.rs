@@ -1,0 +1,101 @@
+//! The common interface every gradient-trained forecaster implements (Gaia
+//! and all neural baselines), so one trainer/predictor drives them all and
+//! Table I compares like with like.
+
+use gaia_graph::{EgoConfig, EgoSubgraph};
+use gaia_nn::ParamStore;
+use gaia_synth::Dataset;
+use gaia_tensor::{Graph, Tensor, VarId};
+
+/// A model that predicts a centre shop's future GMV from its ego subgraph.
+pub trait GraphForecaster: Sync {
+    /// Display name (Table I row label).
+    fn name(&self) -> &str;
+
+    /// Parameter store (read access for forward passes).
+    fn params(&self) -> &ParamStore;
+
+    /// Parameter store (mutable access for the optimiser).
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Ego-subgraph extraction the model wants (pure sequence models use
+    /// `hops = 0`).
+    fn ego_config(&self) -> EgoConfig;
+
+    /// Build the forward pass for the centre node of `ego` on tape `g`,
+    /// returning the `[1, horizon]` prediction in model (positive-log) space.
+    fn forward_center(&self, g: &mut Graph, ds: &Dataset, ego: &EgoSubgraph) -> VarId;
+}
+
+/// Helpers shared by model implementations.
+pub mod inputs {
+    use super::*;
+
+    /// The centre/neighbour input triple for one local node of an ego
+    /// subgraph: `(z: [T, 1], f_t: [T, d_t], f_s: [1, d_s])` as constants.
+    pub fn node_inputs(
+        g: &mut Graph,
+        ds: &Dataset,
+        node: usize,
+    ) -> (VarId, VarId, VarId) {
+        let z = g.constant(Tensor::from_vec(vec![ds.t, 1], ds.gmv_norm[node].clone()));
+        let f_t = g.constant(ds.temporal[node].clone());
+        let f_s = g.constant(ds.statics[node].clone());
+        (z, f_t, f_s)
+    }
+
+    /// Flat `[1, T * (1 + d_t) + d_s]` feature row for models that treat the
+    /// window as a static feature vector (GAT/GraphSAGE/GeniePath).
+    pub fn flat_features(g: &mut Graph, ds: &Dataset, node: usize) -> VarId {
+        let mut data = Vec::with_capacity(ds.t * (1 + ds.d_t) + ds.d_s);
+        for t in 0..ds.t {
+            data.push(ds.gmv_norm[node][t]);
+            for k in 0..ds.d_t {
+                data.push(ds.temporal[node].at(t, k));
+            }
+        }
+        data.extend_from_slice(ds.statics[node].data());
+        let width = data.len();
+        g.constant(Tensor::from_vec(vec![1, width], data))
+    }
+
+    /// Width of [`flat_features`] rows for a dataset.
+    pub fn flat_width(ds: &Dataset) -> usize {
+        ds.t * (1 + ds.d_t) + ds.d_s
+    }
+
+    /// `[T, 1 + d_t]` window matrix (GMV column plus temporal features) for
+    /// sequence models (LogTrans, STGCN, GMAN, MTGNN).
+    pub fn window_matrix(g: &mut Graph, ds: &Dataset, node: usize) -> VarId {
+        let cols = 1 + ds.d_t;
+        let mut data = Vec::with_capacity(ds.t * cols);
+        for t in 0..ds.t {
+            data.push(ds.gmv_norm[node][t]);
+            for k in 0..ds.d_t {
+                data.push(ds.temporal[node].at(t, k));
+            }
+        }
+        g.constant(Tensor::from_vec(vec![ds.t, cols], data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::inputs::*;
+    use gaia_synth::{generate_dataset, WorldConfig};
+    use gaia_tensor::Graph;
+
+    #[test]
+    fn input_builders_shapes() {
+        let (_, ds) = generate_dataset(WorldConfig::tiny());
+        let mut g = Graph::new();
+        let (z, ft, fs) = node_inputs(&mut g, &ds, 0);
+        assert_eq!(g.value(z).shape(), &[ds.t, 1]);
+        assert_eq!(g.value(ft).shape(), &[ds.t, ds.d_t]);
+        assert_eq!(g.value(fs).shape(), &[1, ds.d_s]);
+        let flat = flat_features(&mut g, &ds, 0);
+        assert_eq!(g.value(flat).shape(), &[1, flat_width(&ds)]);
+        let win = window_matrix(&mut g, &ds, 0);
+        assert_eq!(g.value(win).shape(), &[ds.t, 1 + ds.d_t]);
+    }
+}

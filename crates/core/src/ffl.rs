@@ -1,0 +1,216 @@
+//! Feature Fusion Layer (Section IV-A, Eqs. 1-4).
+//!
+//! At each timestamp the scalar GMV, the auxiliary temporal features and the
+//! static features are projected to the `C`-dimensional space separately,
+//! concatenated and fused by a fully-connected layer:
+//!
+//! ```text
+//! z̃_{v,t}  = z_{v,t} · w_I + b_I                       (1)
+//! f̃T_{v,t} = W_T f^T_{v,t} + b^T_t                     (2)
+//! f̃S_v     = W_S f^S_v + b_S                           (3)
+//! s_{v,t}  = W_F [ z̃ || f̃T || f̃S ] + b^F_t            (4)
+//! ```
+//!
+//! Note the *per-timestep* biases `b^T_t` and `b^F_t` (shape `[T, C]`) — the
+//! paper indexes them by `t`, giving the layer a learned positional prior.
+
+use crate::config::{GaiaConfig, GaiaVariant};
+use gaia_nn::{init, Linear, ParamId, ParamStore};
+use gaia_tensor::{Graph, Tensor, VarId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The feature fusion layer (or its "w/o FFL" coarse replacement).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureFusionLayer {
+    kind: FflKind,
+    t: usize,
+    channels: usize,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum FflKind {
+    /// Eqs. (1)-(4).
+    Fine {
+        w_i: ParamId,
+        b_i: ParamId,
+        w_t: Linear,
+        b_t_steps: ParamId,
+        w_s: Linear,
+        w_f: Linear,
+        b_f_steps: ParamId,
+    },
+    /// Ablation: single projection of `[z || fT || fS]`.
+    Coarse { proj: Linear },
+}
+
+impl FeatureFusionLayer {
+    /// Register the layer's parameters.
+    pub fn new<R: Rng>(ps: &mut ParamStore, cfg: &GaiaConfig, rng: &mut R) -> Self {
+        let c = cfg.channels;
+        let kind = if cfg.variant == GaiaVariant::NoFfl {
+            FflKind::Coarse {
+                proj: Linear::new(ps, "ffl.coarse", 1 + cfg.d_t + cfg.d_s, c, true, rng),
+            }
+        } else {
+            FflKind::Fine {
+                w_i: ps.add("ffl.w_i", init::xavier(1, c, rng)),
+                b_i: ps.add("ffl.b_i", Tensor::zeros(vec![c])),
+                w_t: Linear::new(ps, "ffl.w_t", cfg.d_t, c, false, rng),
+                b_t_steps: ps.add("ffl.b_t_steps", Tensor::zeros(vec![cfg.t, c])),
+                w_s: Linear::new(ps, "ffl.w_s", cfg.d_s, c, true, rng),
+                w_f: Linear::new(ps, "ffl.w_f", 3 * c, c, false, rng),
+                b_f_steps: ps.add("ffl.b_f_steps", Tensor::zeros(vec![cfg.t, c])),
+            }
+        };
+        Self { kind, t: cfg.t, channels: c }
+    }
+
+    /// Fuse one shop's inputs into the temporal feature matrix
+    /// `S_v: [T, C]`.
+    ///
+    /// * `z`: normalised GMV series as a `[T, 1]` column,
+    /// * `f_t`: auxiliary temporal features `[T, D_T]`,
+    /// * `f_s`: static features `[1, D_S]`.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        z: VarId,
+        f_t: VarId,
+        f_s: VarId,
+    ) -> VarId {
+        assert_eq!(g.value(z).shape(), &[self.t, 1], "FFL: z must be [T, 1]");
+        match &self.kind {
+            FflKind::Fine { w_i, b_i, w_t, b_t_steps, w_s, w_f, b_f_steps } => {
+                // (1) outer product lifts the scalar series into C channels.
+                let wi = ps.bind(g, *w_i);
+                let z_emb = g.matmul(z, wi);
+                let bi = ps.bind(g, *b_i);
+                let z_emb = g.add_bias(z_emb, bi);
+                // (2) temporal features with a per-timestep bias.
+                let ft_emb = w_t.forward(g, ps, f_t);
+                let bt = ps.bind(g, *b_t_steps);
+                let ft_emb = g.add(ft_emb, bt);
+                // (3) static features, tiled across the window.
+                let fs_emb = w_s.forward(g, ps, f_s);
+                let ones = g.constant(Tensor::ones(vec![self.t, 1]));
+                let fs_tiled = g.matmul(ones, fs_emb);
+                // (4) concatenate and fuse.
+                let cat = g.concat_cols(&[z_emb, ft_emb, fs_tiled]);
+                let fused = w_f.forward(g, ps, cat);
+                let bf = ps.bind(g, *b_f_steps);
+                g.add(fused, bf)
+            }
+            FflKind::Coarse { proj } => {
+                let ones = g.constant(Tensor::ones(vec![self.t, 1]));
+                let fs_tiled = g.matmul(ones, f_s);
+                let cat = g.concat_cols(&[z, f_t, fs_tiled]);
+                proj.forward(g, ps, cat)
+            }
+        }
+    }
+
+    /// Output channel width.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GaiaConfig {
+        GaiaConfig::new(12, 3, 5, 7)
+    }
+
+    fn inputs(g: &mut Graph, cfg: &GaiaConfig, rng: &mut StdRng) -> (VarId, VarId, VarId) {
+        let z = g.constant(Tensor::randn(vec![cfg.t, 1], 1.0, rng));
+        let ft = g.constant(Tensor::randn(vec![cfg.t, cfg.d_t], 1.0, rng));
+        let fs = g.constant(Tensor::randn(vec![1, cfg.d_s], 1.0, rng));
+        (z, ft, fs)
+    }
+
+    #[test]
+    fn fine_fusion_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let cfg = cfg();
+        let ffl = FeatureFusionLayer::new(&mut ps, &cfg, &mut rng);
+        let mut g = Graph::new();
+        let (z, ft, fs) = inputs(&mut g, &cfg, &mut rng);
+        let s = ffl.forward(&mut g, &ps, z, ft, fs);
+        assert_eq!(g.value(s).shape(), &[12, 32]);
+        assert!(g.value(s).all_finite());
+    }
+
+    #[test]
+    fn coarse_variant_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let cfg = cfg().with_variant(GaiaVariant::NoFfl);
+        let ffl = FeatureFusionLayer::new(&mut ps, &cfg, &mut rng);
+        let mut g = Graph::new();
+        let (z, ft, fs) = inputs(&mut g, &cfg, &mut rng);
+        let s = ffl.forward(&mut g, &ps, z, ft, fs);
+        assert_eq!(g.value(s).shape(), &[12, 32]);
+    }
+
+    #[test]
+    fn coarse_has_fewer_params_than_fine() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fine_ps = ParamStore::new();
+        FeatureFusionLayer::new(&mut fine_ps, &cfg(), &mut rng);
+        let mut coarse_ps = ParamStore::new();
+        FeatureFusionLayer::new(&mut coarse_ps, &cfg().with_variant(GaiaVariant::NoFfl), &mut rng);
+        assert!(coarse_ps.num_scalars() < fine_ps.num_scalars());
+    }
+
+    #[test]
+    fn gradients_reach_all_ffl_params() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParamStore::new();
+        let cfg = cfg();
+        let ffl = FeatureFusionLayer::new(&mut ps, &cfg, &mut rng);
+        let mut g = Graph::new();
+        let (z, ft, fs) = inputs(&mut g, &cfg, &mut rng);
+        let s = ffl.forward(&mut g, &ps, z, ft, fs);
+        let sq = g.mul(s, s);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        ps.accumulate_grads(&g);
+        for p in ps.iter() {
+            assert!(
+                p.grad.max_abs() > 0.0,
+                "parameter {} received no gradient",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn static_features_affect_every_timestep() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        let cfg = cfg();
+        let ffl = FeatureFusionLayer::new(&mut ps, &cfg, &mut rng);
+        let run = |fs_val: f32| {
+            let mut g = Graph::new();
+            let z = g.constant(Tensor::zeros(vec![cfg.t, 1]));
+            let ft = g.constant(Tensor::zeros(vec![cfg.t, cfg.d_t]));
+            let fs = g.constant(Tensor::full(vec![1, cfg.d_s], fs_val));
+            let s = ffl.forward(&mut g, &ps, z, ft, fs);
+            g.value(s).clone()
+        };
+        let a = run(0.0);
+        let b = run(1.0);
+        for t in 0..cfg.t {
+            let row_diff: f32 =
+                (0..32).map(|c| (a.at(t, c) - b.at(t, c)).abs()).sum();
+            assert!(row_diff > 1e-6, "row {t} unaffected by static features");
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The full Gaia model (Fig. 2): FFL → TEL → stacked ITA-GCN → prediction
+//! head with residual connection (Eq. 9).
+
+use crate::api::{inputs, GraphForecaster};
+use crate::config::GaiaConfig;
+use crate::ffl::FeatureFusionLayer;
+use crate::ita::{AttentionDetail, ItaGcnLayer};
+use crate::tel::TemporalEmbeddingLayer;
+use gaia_graph::{EgoConfig, EgoSubgraph};
+use gaia_nn::{init, Conv1d, ParamId, ParamStore};
+use gaia_tensor::{Graph, PadMode, Tensor, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Prediction head of Eq. 9:
+/// `ỹ_u = ReLU([L^P_{1xC;1} ⋆ (H^{(L)}_u + E_u)] W_P + b_P)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PredictionHead {
+    l_p: Conv1d,
+    w_p: ParamId,
+    b_p: ParamId,
+}
+
+impl PredictionHead {
+    fn new(ps: &mut ParamStore, cfg: &GaiaConfig, rng: &mut StdRng) -> Self {
+        Self {
+            l_p: Conv1d::new(ps, "head.lp", 1, cfg.channels, 1, PadMode::Causal, true, rng),
+            w_p: ps.add("head.wp", init::xavier(cfg.t, cfg.horizon, rng)),
+            b_p: ps.add("head.bp", Tensor::full(vec![cfg.horizon], gaia_synth::TARGET_SHIFT)),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, ps: &ParamStore, h_final: VarId, e: VarId) -> VarId {
+        // Residual connection emphasising the TEL representation.
+        let sum = g.add(h_final, e);
+        let pooled = self.l_p.forward(g, ps, sum); // [T, 1]
+        let row = g.transpose(pooled); // [1, T]
+        let wp = ps.bind(g, self.w_p);
+        let proj = g.matmul(row, wp); // [1, T']
+        let bp = ps.bind(g, self.b_p);
+        let out = g.add_bias(proj, bp);
+        g.relu(out)
+    }
+}
+
+/// The Gaia model. Holds its own [`ParamStore`]; the forward pass is built
+/// per-ego-subgraph on a fresh tape (define-by-run).
+#[derive(Clone, Debug)]
+pub struct Gaia {
+    /// Hyper-parameters (immutable after construction).
+    pub cfg: GaiaConfig,
+    ps: ParamStore,
+    ffl: FeatureFusionLayer,
+    tel: TemporalEmbeddingLayer,
+    layers: Vec<ItaGcnLayer>,
+    head: PredictionHead,
+    name: String,
+}
+
+impl Gaia {
+    /// Construct with Xavier initialisation from `seed`.
+    pub fn new(cfg: GaiaConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid GaiaConfig");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        let ffl = FeatureFusionLayer::new(&mut ps, &cfg, &mut rng);
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg, &mut rng);
+        let layers =
+            (0..cfg.layers).map(|l| ItaGcnLayer::new(&mut ps, &cfg, l, &mut rng)).collect();
+        let head = PredictionHead::new(&mut ps, &cfg, &mut rng);
+        let name = cfg.variant.label().to_string();
+        Self { cfg, ps, ffl, tel, layers, head, name }
+    }
+
+    /// Per-node embedding: FFL then TEL, returning `E_v: [T, C]`.
+    fn embed(&self, g: &mut Graph, ds: &gaia_synth::Dataset, node: usize) -> VarId {
+        let (z, f_t, f_s) = inputs::node_inputs(g, ds, node);
+        let s = self.ffl.forward(g, &self.ps, z, f_t, f_s);
+        self.tel.forward(g, &self.ps, s)
+    }
+
+    /// Run FFL+TEL for every local node and stack the ITA-GCN layers,
+    /// returning `(E per node, H^{(l)} per node for the final layer)`.
+    ///
+    /// Representations are only refreshed for nodes whose hop distance still
+    /// matters at each depth (`hop <= L - l`), which is exactly the receptive
+    /// field of the centre node — the same economy AGL's instance generation
+    /// provides in the paper's deployment.
+    fn propagate(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+    ) -> (Vec<VarId>, Vec<VarId>) {
+        let n = ego.len();
+        let e: Vec<VarId> = (0..n).map(|v| self.embed(g, ds, ego.nodes[v] as usize)).collect();
+        let l_max = self.layers.len();
+        let mut h = e.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let l = li + 1;
+            let mut next = h.clone();
+            for u in 0..n {
+                if (ego.hops[u] as usize) <= l_max - l {
+                    next[u] = layer.forward_node(g, &self.ps, &h, ego, u);
+                }
+            }
+            h = next;
+        }
+        (e, h)
+    }
+
+    /// Attention introspection at the final layer for the centre node —
+    /// used by the Fig 4 case study.
+    pub fn attention_at_center(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+    ) -> AttentionDetail {
+        let (_, h) = self.propagate_to_penultimate(g, ds, ego);
+        let last = self.layers.last().expect("at least one layer");
+        last.attention_detail(g, &self.ps, &h, ego, 0)
+    }
+
+    /// Propagate through all but the last layer (helper for introspection).
+    fn propagate_to_penultimate(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+    ) -> (Vec<VarId>, Vec<VarId>) {
+        let n = ego.len();
+        let e: Vec<VarId> = (0..n).map(|v| self.embed(g, ds, ego.nodes[v] as usize)).collect();
+        let l_max = self.layers.len();
+        let mut h = e.clone();
+        for (li, layer) in self.layers.iter().take(l_max - 1).enumerate() {
+            let l = li + 1;
+            let mut next = h.clone();
+            for u in 0..n {
+                if (ego.hops[u] as usize) <= l_max - l {
+                    next[u] = layer.forward_node(g, &self.ps, &h, ego, u);
+                }
+            }
+            h = next;
+        }
+        (e, h)
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.ps.num_scalars()
+    }
+
+    /// Checkpoint the parameters to JSON (used by the serving pipeline).
+    pub fn checkpoint(&self) -> String {
+        self.ps.to_json()
+    }
+
+    /// Restore parameters from a checkpoint produced by a same-config model.
+    pub fn restore(&mut self, json: &str) -> Result<(), serde_json::Error> {
+        let loaded = ParamStore::from_json(json)?;
+        self.ps.load_values_from(&loaded);
+        Ok(())
+    }
+}
+
+impl GraphForecaster for Gaia {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    fn ego_config(&self) -> EgoConfig {
+        self.cfg.ego
+    }
+
+    fn forward_center(&self, g: &mut Graph, ds: &gaia_synth::Dataset, ego: &EgoSubgraph) -> VarId {
+        let (e, h) = self.propagate(g, ds, ego);
+        self.head.forward(g, &self.ps, h[0], e[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GaiaVariant;
+    use gaia_graph::extract_ego;
+    use gaia_synth::{generate_dataset, WorldConfig};
+
+    fn small_cfg(ds: &gaia_synth::Dataset) -> GaiaConfig {
+        let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 16;
+        cfg.kernel_groups = 2;
+        cfg.ego = EgoConfig { hops: 2, fanout: 4 };
+        cfg
+    }
+
+    #[test]
+    fn forward_center_shape_and_nonnegativity() {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let cfg = small_cfg(&ds);
+        let model = Gaia::new(cfg.clone(), 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for center in [0usize, 5, 10] {
+            let ego = extract_ego(&world.graph, center, &cfg.ego, &mut rng);
+            let mut g = Graph::new();
+            let pred = model.forward_center(&mut g, &ds, &ego);
+            assert_eq!(g.value(pred).shape(), &[1, ds.horizon]);
+            // Eq. 9 ends in ReLU: predictions are non-negative.
+            assert!(g.value(pred).data().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn all_variants_build_and_run() {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        for variant in
+            [GaiaVariant::Full, GaiaVariant::NoIta, GaiaVariant::NoFfl, GaiaVariant::NoTel]
+        {
+            let cfg = small_cfg(&ds).with_variant(variant);
+            let model = Gaia::new(cfg.clone(), 3);
+            let mut rng = StdRng::seed_from_u64(4);
+            let ego = extract_ego(&world.graph, 1, &cfg.ego, &mut rng);
+            let mut g = Graph::new();
+            let pred = model.forward_center(&mut g, &ds, &ego);
+            assert!(g.value(pred).all_finite(), "{variant:?} produced NaN");
+        }
+    }
+
+    #[test]
+    fn gradient_flows_to_most_parameters() {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let cfg = small_cfg(&ds);
+        let mut model = Gaia::new(cfg.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Pick a centre with neighbours.
+        let center = (0..ds.n)
+            .find(|&v| world.graph.degree(v) >= 2)
+            .expect("some node has neighbours");
+        let ego = extract_ego(&world.graph, center, &cfg.ego, &mut rng);
+        let mut g = Graph::new();
+        let pred = model.forward_center(&mut g, &ds, &ego);
+        let target = ds.target_tensor(center);
+        let loss = g.mse(pred, &target);
+        g.backward(loss);
+        model.params_mut().accumulate_grads(&g);
+        let live = model.params().iter().filter(|p| p.grad.max_abs() > 0.0).count();
+        let total = model.params().len();
+        assert!(live * 10 >= total * 8, "only {live}/{total} params got gradient");
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let cfg = small_cfg(&ds);
+        let model = Gaia::new(cfg.clone(), 7);
+        let mut clone = Gaia::new(cfg.clone(), 999); // different init
+        let ckpt = model.checkpoint();
+        clone.restore(&ckpt).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let ego = extract_ego(&world.graph, 0, &cfg.ego, &mut rng);
+        let mut g1 = Graph::new();
+        let p1 = model.forward_center(&mut g1, &ds, &ego);
+        let mut g2 = Graph::new();
+        let p2 = clone.forward_center(&mut g2, &ds, &ego);
+        assert_eq!(g1.value(p1).data(), g2.value(p2).data());
+    }
+
+    #[test]
+    fn attention_introspection_shapes() {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let cfg = small_cfg(&ds);
+        let model = Gaia::new(cfg.clone(), 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let center = (0..ds.n).find(|&v| world.graph.degree(v) >= 1).unwrap();
+        let ego = extract_ego(&world.graph, center, &cfg.ego, &mut rng);
+        let mut g = Graph::new();
+        let detail = model.attention_at_center(&mut g, &ds, &ego);
+        assert_eq!(g.value(detail.intra).shape(), &[ds.t, ds.t]);
+        assert_eq!(detail.inter.len(), ego.neighbors(0).len());
+    }
+
+    #[test]
+    fn neighbor_signal_changes_center_prediction() {
+        // Perturbing a neighbour's series must move the centre's prediction —
+        // the whole point of graph aggregation.
+        let (world, mut ds) = generate_dataset(WorldConfig::tiny());
+        let cfg = small_cfg(&ds);
+        let model = Gaia::new(cfg.clone(), 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let center = (0..ds.n).find(|&v| world.graph.degree(v) >= 1).unwrap();
+        let ego = extract_ego(&world.graph, center, &cfg.ego, &mut rng);
+        assert!(ego.len() > 1, "need a neighbour");
+        let mut g1 = Graph::new();
+        let p1 = model.forward_center(&mut g1, &ds, &ego);
+        let base = g1.value(p1).clone();
+        // Perturb the first neighbour's GMV series.
+        let nb = ego.nodes[1] as usize;
+        for x in ds.gmv_norm[nb].iter_mut() {
+            *x += 2.0;
+        }
+        let mut g2 = Graph::new();
+        let p2 = model.forward_center(&mut g2, &ds, &ego);
+        let changed = g2.value(p2);
+        let diff: f32 =
+            base.data().iter().zip(changed.data()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-6, "neighbour perturbation did not propagate");
+    }
+}

@@ -1,0 +1,160 @@
+//! Temporal Embedding Layer (Section IV-B, Eqs. 5-7).
+//!
+//! Two coupled banks of 1-D convolutions run over the fused features
+//! `S_v: [T, C]`: a *capture* bank extracting multi-scale temporal patterns
+//! and a *denoise* bank gating them,
+//!
+//! ```text
+//! S^C_v = [ L^{C,1}_{2xC;C/K} ⋆ S_v || ... || L^{C,K}_{2^K xC;C/K} ⋆ S_v ]   (5)
+//! S^D_v = [ L^{D,1}_{2xC;C/K} ⋆ S_v || ... || L^{D,K}_{2^K xC;C/K} ⋆ S_v ]   (6)
+//! E_v   = ReLU(S^C_v) ⊙ Sigmoid(S^D_v)                                       (7)
+//! ```
+//!
+//! Kernel widths double per group (`2, 4, ..., 2^K`), each contributing
+//! `C/K` channels, so `E_v` is again `[T, C]`. The "w/o TEL" ablation swaps
+//! the group for a single `{4 x C; C}` kernel in both banks.
+
+use crate::config::{GaiaConfig, GaiaVariant};
+use gaia_nn::{Conv1d, ParamStore};
+use gaia_tensor::{Graph, PadMode, VarId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The temporal embedding layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalEmbeddingLayer {
+    capture: Vec<Conv1d>,
+    denoise: Vec<Conv1d>,
+    channels: usize,
+}
+
+impl TemporalEmbeddingLayer {
+    /// Register the layer's parameters.
+    pub fn new<R: Rng>(ps: &mut ParamStore, cfg: &GaiaConfig, rng: &mut R) -> Self {
+        let c = cfg.channels;
+        let widths: Vec<(usize, usize)> = if cfg.variant == GaiaVariant::NoTel {
+            // Single {4 x C; C} kernel (Table II, "w/o TEL").
+            vec![(4, c)]
+        } else {
+            // Kernel group {2^k x C; C/K} for k = 1..K.
+            (1..=cfg.kernel_groups).map(|k| (1usize << k, c / cfg.kernel_groups)).collect()
+        };
+        let capture = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, ch))| {
+                Conv1d::new(ps, &format!("tel.capture{i}"), k, c, ch, PadMode::Same, true, rng)
+            })
+            .collect();
+        let denoise = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, ch))| {
+                Conv1d::new(ps, &format!("tel.denoise{i}"), k, c, ch, PadMode::Same, true, rng)
+            })
+            .collect();
+        Self { capture, denoise, channels: c }
+    }
+
+    /// Map fused features `S_v: [T, C]` to the temporal representation
+    /// `E_v: [T, C]`.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, s: VarId) -> VarId {
+        let cap: Vec<VarId> = self.capture.iter().map(|conv| conv.forward(g, ps, s)).collect();
+        let den: Vec<VarId> = self.denoise.iter().map(|conv| conv.forward(g, ps, s)).collect();
+        let s_c = if cap.len() == 1 { cap[0] } else { g.concat_cols(&cap) };
+        let s_d = if den.len() == 1 { den[0] } else { g.concat_cols(&den) };
+        let act = g.relu(s_c);
+        let gate = g.sigmoid(s_d);
+        g.mul(act, gate)
+    }
+
+    /// Number of kernel groups in use (1 for the ablation).
+    pub fn num_groups(&self) -> usize {
+        self.capture.len()
+    }
+
+    /// Output channel width.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GaiaConfig {
+        GaiaConfig::new(24, 3, 5, 7)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg(), &mut rng);
+        assert_eq!(tel.num_groups(), 4);
+        let mut g = Graph::new();
+        let s = g.constant(Tensor::randn(vec![24, 32], 1.0, &mut rng));
+        let e = tel.forward(&mut g, &ps, s);
+        assert_eq!(g.value(e).shape(), &[24, 32]);
+    }
+
+    #[test]
+    fn ablation_uses_single_kernel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(
+            &mut ps,
+            &cfg().with_variant(GaiaVariant::NoTel),
+            &mut rng,
+        );
+        assert_eq!(tel.num_groups(), 1);
+        let mut g = Graph::new();
+        let s = g.constant(Tensor::randn(vec![24, 32], 1.0, &mut rng));
+        let e = tel.forward(&mut g, &ps, s);
+        assert_eq!(g.value(e).shape(), &[24, 32]);
+    }
+
+    #[test]
+    fn gating_bounds_output_by_capture_branch() {
+        // E = ReLU(S^C) ⊙ σ(S^D) is non-negative and never exceeds ReLU(S^C).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg(), &mut rng);
+        let mut g = Graph::new();
+        let s = g.constant(Tensor::randn(vec![24, 32], 1.0, &mut rng));
+        let e = tel.forward(&mut g, &ps, s);
+        assert!(g.value(e).data().iter().all(|&x| x >= 0.0), "gated ReLU must be >= 0");
+    }
+
+    #[test]
+    fn gradients_flow_to_both_banks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg(), &mut rng);
+        let mut g = Graph::new();
+        let s = g.constant(Tensor::randn(vec![24, 32], 1.0, &mut rng));
+        let e = tel.forward(&mut g, &ps, s);
+        let loss = g.sum_all(e);
+        g.backward(loss);
+        ps.accumulate_grads(&g);
+        let with_grad = ps.iter().filter(|p| p.grad.max_abs() > 0.0).count();
+        // All capture weights get gradient; denoise gates may rarely saturate
+        // but with random init the overwhelming majority must be live.
+        assert!(with_grad * 10 >= ps.len() * 9, "{with_grad}/{} params live", ps.len());
+    }
+
+    #[test]
+    fn multiscale_kernels_have_expected_widths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg(), &mut rng);
+        let widths: Vec<usize> = tel.capture.iter().map(|c| c.kernel()).collect();
+        assert_eq!(widths, vec![2, 4, 8, 16]);
+        let chans: Vec<usize> = tel.capture.iter().map(|c| c.c_out()).collect();
+        assert_eq!(chans, vec![8, 8, 8, 8]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Recomputes only the ARIMA row of Table I (no training required) — handy
+//! for iterating on the classical baseline without re-running the full
+//! 9-model harness.
+
+use gaia_baselines::{arima_forecasts, ArimaBaselineConfig};
+use gaia_eval::{dump_json, metrics_for_month, month_label, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    let (world, ds) = cfg.materialize();
+    let nodes = ds.splits.test.clone();
+    let actuals: Vec<Vec<f64>> = nodes.iter().map(|&v| ds.targets_raw[v].clone()).collect();
+    let preds = arima_forecasts(&world, &ds, &nodes, &ArimaBaselineConfig::default());
+    let mut months = Vec::new();
+    println!("{:<10}{:>10} {:>12} {:>8}", "Month", "MAE", "RMSE", "MAPE");
+    for h in 0..ds.horizon {
+        let m = metrics_for_month(&preds, &actuals, h);
+        println!("{:<10}{:>10.0} {:>12.0} {:>8.4}", month_label(&world, h), m.mae, m.rmse, m.mape);
+        months.push(m);
+    }
+    let _ = dump_json("arima_row", &months);
+}

@@ -1,0 +1,32 @@
+//! Scratch diagnostic binary: trains one model verbosely and prints sample
+//! predictions vs targets (useful when a baseline misbehaves).
+
+use gaia_core::trainer::{predict_nodes, train, TrainConfig};
+use gaia_eval::{build_model, HarnessConfig, ModelKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    let kind = match args.first().map(|s| s.as_str()) {
+        Some("logtrans") => ModelKind::LogTrans,
+        Some("gat") => ModelKind::Gat,
+        Some("mtgnn") => ModelKind::Mtgnn,
+        Some("stgcn") => ModelKind::Stgcn,
+        Some("gman") => ModelKind::Gman,
+        _ => ModelKind::Gaia,
+    };
+    let (world, ds) = cfg.materialize();
+    let mut model = build_model(kind, &ds, cfg.seed);
+    let tc = TrainConfig { verbose: true, ..cfg.train.clone() };
+    train(&mut *model, &ds, &world.graph, &tc);
+    let nodes: Vec<usize> = ds.splits.val.iter().take(6).copied().collect();
+    let preds = predict_nodes(&*model, &ds, &world.graph, &nodes, 3, 4);
+    for p in preds {
+        println!(
+            "shop {:>4}: pred_z {:?} target_z {:?}",
+            p.node,
+            p.model_space.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            ds.targets_norm[p.node].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+}

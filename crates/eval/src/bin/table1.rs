@@ -1,0 +1,22 @@
+//! Regenerates **Table I**: performance comparison of ARIMA, LogTrans, GAT,
+//! GraphSAGE, GeniePath, STGCN, GMAN, MTGNN and Gaia on the three forecast
+//! months (Oct/Nov/Dec analogue) with MAE / RMSE / MAPE.
+
+use gaia_eval::{dump_json, render_ranking, render_table, run_table1, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    eprintln!(
+        "Table I harness: {} shops, {} epochs, seed {}",
+        cfg.world.n_shops, cfg.train.epochs, cfg.seed
+    );
+    let result = run_table1(&cfg);
+    println!("\nTABLE I: Performance comparison with baselines on three datasets\n");
+    println!("{}", render_table(&result));
+    println!("{}", render_ranking(&result));
+    match dump_json("table1", &result) {
+        Ok(path) => eprintln!("JSON written to {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Table II**: the ablation study — Gaia vs w/o ITA, w/o FFL
+//! and w/o TEL on all three forecast months.
+
+use gaia_eval::{dump_json, render_table, run_table2, HarnessConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = HarnessConfig::from_args(&args);
+    eprintln!(
+        "Table II harness: {} shops, {} epochs, seed {}",
+        cfg.world.n_shops, cfg.train.epochs, cfg.seed
+    );
+    let result = run_table2(&cfg);
+    println!("\nTABLE II: Ablation Study of Gaia\n");
+    println!("{}", render_table(&result));
+    match dump_json("table2", &result) {
+        Ok(path) => eprintln!("JSON written to {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

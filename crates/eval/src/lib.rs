@@ -1,0 +1,39 @@
+//! # gaia-eval
+//!
+//! Metrics (MAE / RMSE / MAPE as in Section V-A1), the model zoo, and the
+//! experiment drivers that regenerate every table and figure of the paper.
+//! Each driver has a matching binary under `src/bin`:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table I (overall comparison) | `table1` |
+//! | Table II (ablations) | `table2_ablation` |
+//! | Fig 1(a) (temporal deficiency) | `fig1a_deficiency` |
+//! | Fig 3 (new/old shop groups) | `fig3_groups` |
+//! | Fig 4 (ITA case study) | `fig4_case_study` |
+//! | Section VI (deployment) | `deployment` |
+//!
+//! All binaries accept `--shops N --epochs N --seed N --quick --quiet` and
+//! write a JSON dump next to their text output (under `results/`).
+
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+pub mod zoo;
+
+pub use experiments::{
+    month_label, run_fig1a, run_fig3, run_fig4, run_table1, run_table2, Fig1aResult, Fig3Result,
+    Fig4Result, HarnessConfig, MethodResult, Table1Result,
+};
+pub use metrics::{improvement_pct, metrics_for_month, metrics_overall, Metrics, MAPE_FLOOR};
+pub use table::{render_ranking, render_table};
+pub use zoo::{build_model, ModelKind};
+
+/// Write a JSON result dump under `results/`, creating the directory.
+pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}

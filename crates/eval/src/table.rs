@@ -1,0 +1,105 @@
+//! Plain-text rendering of result tables in the paper's layout.
+
+use crate::experiments::Table1Result;
+use crate::metrics::Metrics;
+
+/// Format a metric triple as `MAE RMSE MAPE` columns.
+fn metric_cells(m: &Metrics) -> String {
+    format!("{:>10.0} {:>11.0} {:>7.4}", m.mae, m.rmse, m.mape)
+}
+
+/// Render a Table I / Table II style result: one row per method, three
+/// metric columns per forecast month.
+pub fn render_table(result: &Table1Result) -> String {
+    let mut out = String::new();
+    // Header line 1: month spans.
+    out.push_str(&format!("{:<10}", "Method"));
+    for label in &result.month_labels {
+        out.push_str(&format!("{:^31}", label));
+    }
+    out.push('\n');
+    // Header line 2: metric names.
+    out.push_str(&format!("{:<10}", ""));
+    for _ in &result.month_labels {
+        out.push_str(&format!("{:>10} {:>11} {:>7} ", "MAE", "RMSE", "MAPE"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(10 + 31 * result.month_labels.len()));
+    out.push('\n');
+    for row in &result.rows {
+        out.push_str(&format!("{:<10}", row.name));
+        for m in &row.months {
+            out.push_str(&metric_cells(m));
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a compact per-method mean-MAPE ranking (lower is better).
+pub fn render_ranking(result: &Table1Result) -> String {
+    let mut rows: Vec<(String, f64)> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mean_mape: f64 =
+                r.months.iter().map(|m| m.mape).sum::<f64>() / r.months.len() as f64;
+            (r.name.clone(), mean_mape)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite mape"));
+    let mut out = String::from("Ranking by mean MAPE (lower = better):\n");
+    for (i, (name, mape)) in rows.iter().enumerate() {
+        out.push_str(&format!("  {:>2}. {:<10} {:.4}\n", i + 1, name, mape));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::MethodResult;
+
+    fn toy_result() -> Table1Result {
+        Table1Result {
+            month_labels: vec!["Oct.".into(), "Nov.".into()],
+            rows: vec![
+                MethodResult {
+                    name: "ARIMA".into(),
+                    months: vec![
+                        Metrics { mae: 39493.0, rmse: 139405.0, mape: 0.2145 },
+                        Metrics { mae: 40329.0, rmse: 142378.0, mape: 0.2427 },
+                    ],
+                    train_seconds: 1.0,
+                },
+                MethodResult {
+                    name: "Gaia".into(),
+                    months: vec![
+                        Metrics { mae: 24064.0, rmse: 112516.0, mape: 0.0909 },
+                        Metrics { mae: 22467.0, rmse: 95518.0, mape: 0.0860 },
+                    ],
+                    train_seconds: 2.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let s = render_table(&toy_result());
+        assert!(s.contains("ARIMA"));
+        assert!(s.contains("Gaia"));
+        assert!(s.contains("0.2145"));
+        assert!(s.contains("0.0860"));
+        assert!(s.contains("Oct."));
+    }
+
+    #[test]
+    fn ranking_orders_by_mape() {
+        let s = render_ranking(&toy_result());
+        let gaia_pos = s.find("Gaia").unwrap();
+        let arima_pos = s.find("ARIMA").unwrap();
+        assert!(gaia_pos < arima_pos, "Gaia should rank first:\n{s}");
+    }
+}

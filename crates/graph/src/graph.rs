@@ -1,0 +1,217 @@
+//! The e-seller graph of Section III-B: shops as nodes, typed edges for
+//! supply-chain and same-owner/shareholder relationships, stored in CSR form.
+//!
+//! The paper treats the graph as homogeneous with the edge type carried as an
+//! edge feature; we keep the type on each CSR entry for exactly that reason.
+
+use serde::{Deserialize, Serialize};
+
+/// The two (three, counting shareholder separately) relationship kinds of
+/// Fig. 1(b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeType {
+    /// Directed supplier → retailer relationship: the upstream seller's GMV
+    /// leads the downstream retailer's.
+    SupplyChain,
+    /// Two shops registered to the same owner.
+    SameOwner,
+    /// Two shops sharing a shareholder.
+    SameShareholder,
+}
+
+impl EdgeType {
+    /// One-hot feature index carried on the edge (the paper makes the edge
+    /// type an edge feature of the homogeneous graph).
+    pub fn feature_index(self) -> usize {
+        match self {
+            EdgeType::SupplyChain => 0,
+            EdgeType::SameOwner => 1,
+            EdgeType::SameShareholder => 2,
+        }
+    }
+
+    /// Number of distinct edge types.
+    pub const COUNT: usize = 3;
+}
+
+/// A raw edge before CSR construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node (the supplier for [`EdgeType::SupplyChain`]).
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Relationship kind.
+    pub ty: EdgeType,
+}
+
+/// One CSR adjacency entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The adjacent node id.
+    pub node: u32,
+    /// Relationship kind of the connecting edge.
+    pub ty: EdgeType,
+    /// True when the stored edge leaves this node (`self -> node`); supply
+    /// chain direction matters for the inter temporal shift.
+    pub outgoing: bool,
+}
+
+/// Compressed sparse-row e-seller graph. Edges are stored in both directions
+/// so neighbourhood aggregation (Eq. 8) can traverse either way while the
+/// `outgoing` flag preserves supply-chain directionality.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EsellerGraph {
+    n: usize,
+    offsets: Vec<usize>,
+    entries: Vec<Neighbor>,
+    edge_count: usize,
+}
+
+impl EsellerGraph {
+    /// Build a CSR graph over `n` nodes from an edge list. Self-loops are
+    /// dropped (the ITA-GCN adds the intra/self term explicitly) and exact
+    /// duplicates are deduplicated.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut kept = 0usize;
+        for e in edges {
+            assert!((e.src as usize) < n && (e.dst as usize) < n, "edge {e:?} out of range (n={n})");
+            if e.src == e.dst {
+                continue;
+            }
+            let fwd = Neighbor { node: e.dst, ty: e.ty, outgoing: true };
+            let bwd = Neighbor { node: e.src, ty: e.ty, outgoing: false };
+            if adj[e.src as usize].contains(&fwd) {
+                continue;
+            }
+            adj[e.src as usize].push(fwd);
+            adj[e.dst as usize].push(bwd);
+            kept += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_by_key(|nb| nb.node);
+            entries.extend_from_slice(list);
+            offsets.push(entries.len());
+        }
+        Self { n, offsets, entries, edge_count: kept }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected (stored once) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbourhood of a node (both incoming and outgoing entries).
+    pub fn neighbors(&self, node: usize) -> &[Neighbor] {
+        &self.entries[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Degree of a node counting both directions.
+    pub fn degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    /// Iterate all stored edges once (in their original direction).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n).flat_map(move |src| {
+            self.neighbors(src).iter().filter(|nb| nb.outgoing).map(move |nb| Edge {
+                src: src as u32,
+                dst: nb.node,
+                ty: nb.ty,
+            })
+        })
+    }
+
+    /// Count of edges per type.
+    pub fn edge_type_counts(&self) -> [usize; EdgeType::COUNT] {
+        let mut counts = [0usize; EdgeType::COUNT];
+        for e in self.edges() {
+            counts[e.ty.feature_index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> EsellerGraph {
+        // 0 -> 1 supply, 1 -- 2 same owner, 0 -> 3 supply.
+        EsellerGraph::from_edges(
+            4,
+            &[
+                Edge { src: 0, dst: 1, ty: EdgeType::SupplyChain },
+                Edge { src: 1, dst: 2, ty: EdgeType::SameOwner },
+                Edge { src: 0, dst: 3, ty: EdgeType::SupplyChain },
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_shapes() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn direction_flags_preserved() {
+        let g = toy();
+        let from0: Vec<_> = g.neighbors(0).iter().collect();
+        assert!(from0.iter().all(|nb| nb.outgoing));
+        let at1 = g.neighbors(1);
+        let incoming: Vec<_> = at1.iter().filter(|nb| !nb.outgoing).collect();
+        assert_eq!(incoming.len(), 1);
+        assert_eq!(incoming[0].node, 0);
+        assert_eq!(incoming[0].ty, EdgeType::SupplyChain);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let g = EsellerGraph::from_edges(
+            2,
+            &[
+                Edge { src: 0, dst: 0, ty: EdgeType::SameOwner },
+                Edge { src: 0, dst: 1, ty: EdgeType::SameOwner },
+                Edge { src: 0, dst: 1, ty: EdgeType::SameOwner },
+            ],
+        );
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let g = toy();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&Edge { src: 0, dst: 1, ty: EdgeType::SupplyChain }));
+    }
+
+    #[test]
+    fn type_counts() {
+        let g = toy();
+        let counts = g.edge_type_counts();
+        assert_eq!(counts[EdgeType::SupplyChain.feature_index()], 2);
+        assert_eq!(counts[EdgeType::SameOwner.feature_index()], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = EsellerGraph::from_edges(2, &[Edge { src: 0, dst: 5, ty: EdgeType::SameOwner }]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Graph statistics used for dataset reporting (the "~3M nodes, ~10M edges"
+//! style summary of Section V-A1) and for Fig 1(a)-style histograms.
+
+use crate::graph::{EdgeType, EsellerGraph};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an e-seller graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Stored edge count.
+    pub edges: usize,
+    /// Edges per type, indexed by [`EdgeType::feature_index`].
+    pub edges_by_type: [usize; EdgeType::COUNT],
+    /// Mean degree (counting both directions).
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated nodes.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn compute(g: &EsellerGraph) -> Self {
+        let n = g.num_nodes();
+        let mut total = 0usize;
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for v in 0..n {
+            let d = g.degree(v);
+            total += d;
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        Self {
+            nodes: n,
+            edges: g.num_edges(),
+            edges_by_type: g.edge_type_counts(),
+            mean_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_degree,
+            isolated,
+        }
+    }
+}
+
+/// Histogram over bucketed values (used for the Fig 1(a) series-length
+/// distribution and degree distributions).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of each bucket.
+    pub edges: Vec<f64>,
+    /// Count per bucket.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build a fixed-width histogram of `values` with `buckets` bins over
+    /// `[min, max]`.
+    pub fn fixed(values: &[f64], min: f64, max: f64, buckets: usize) -> Self {
+        assert!(buckets > 0 && max > min, "bad histogram spec");
+        let width = (max - min) / buckets as f64;
+        let mut counts = vec![0usize; buckets];
+        for &v in values {
+            let mut idx = ((v - min) / width).floor() as isize;
+            idx = idx.clamp(0, buckets as isize - 1);
+            counts[idx as usize] += 1;
+        }
+        let edges = (0..buckets).map(|i| min + i as f64 * width).collect();
+        Self { edges, counts }
+    }
+
+    /// Render an ASCII bar chart (used by the figure harness binaries).
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (edge, &count) in self.edges.iter().zip(&self.counts) {
+            let bar = "#".repeat(count * width / max);
+            out.push_str(&format!("{edge:>8.1} | {bar} {count}\n"));
+        }
+        out
+    }
+
+    /// Skewness (third standardised moment) of the underlying sample,
+    /// approximated from bucket midpoints — the Fig 1(a) claim is that the
+    /// series-length distribution is heavily skewed.
+    pub fn skewness(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = if self.edges.len() > 1 { self.edges[1] - self.edges[0] } else { 1.0 };
+        let mids: Vec<f64> = self.edges.iter().map(|e| e + width / 2.0).collect();
+        let mean: f64 = mids
+            .iter()
+            .zip(&self.counts)
+            .map(|(m, &c)| m * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        let var: f64 = mids
+            .iter()
+            .zip(&self.counts)
+            .map(|(m, &c)| (m - mean).powi(2) * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        if var <= 1e-12 {
+            return 0.0;
+        }
+        let m3: f64 = mids
+            .iter()
+            .zip(&self.counts)
+            .map(|(m, &c)| (m - mean).powi(3) * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        m3 / var.powf(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = EsellerGraph::from_edges(
+            4,
+            &[
+                Edge { src: 0, dst: 1, ty: EdgeType::SupplyChain },
+                Edge { src: 1, dst: 2, ty: EdgeType::SameOwner },
+            ],
+        );
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let h = Histogram::fixed(&[0.5, 1.5, 1.6, 9.9, -3.0, 30.0], 0.0, 10.0, 5);
+        assert_eq!(h.counts.iter().sum::<usize>(), 6);
+        // Bucket width 2.0: 0.5, 1.5, 1.6 and clamped -3.0 land in bucket 0.
+        assert_eq!(h.counts[0], 4);
+        assert_eq!(h.counts[4], 2); // 9.9 and clamped 30.0
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed sample: mass at low values with a long right tail.
+        let mut vals = vec![1.0; 80];
+        vals.extend(vec![9.0; 5]);
+        let h = Histogram::fixed(&vals, 0.0, 10.0, 10);
+        assert!(h.skewness() > 0.5, "skew {}", h.skewness());
+    }
+
+    #[test]
+    fn ascii_renders_all_buckets() {
+        let h = Histogram::fixed(&[1.0, 2.0, 2.5], 0.0, 4.0, 4);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Weight initialisers. Paper models are shallow; Xavier/Glorot keeps the
+//! variance of activations stable through the FFL/TEL stacks, He is used
+//! before ReLU heads.
+
+use gaia_tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` matrix.
+pub fn xavier<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(vec![fan_in, fan_out], limit, rng)
+}
+
+/// He-normal initialisation for ReLU-facing layers.
+pub fn he<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(vec![fan_in, fan_out], std, rng)
+}
+
+/// Xavier-style initialisation for a `[k, c_in, c_out]` conv1d kernel, with
+/// fan-in `k * c_in`.
+pub fn conv_kernel<R: Rng>(k: usize, c_in: usize, c_out: usize, rng: &mut R) -> Tensor {
+    let fan_in = k * c_in;
+    let limit = (6.0 / (fan_in + c_out) as f32).sqrt();
+    Tensor::rand_uniform(vec![k, c_in, c_out], limit, rng)
+}
+
+/// Zero bias of length `n`.
+pub fn zeros_bias(n: usize) -> Tensor {
+    Tensor::zeros(vec![n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier(64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+        assert_eq!(t.shape(), &[64, 64]);
+    }
+
+    #[test]
+    fn he_variance_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = he(200, 50, &mut rng);
+        let var: f32 = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var - 2.0 / 200.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn conv_kernel_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = conv_kernel(3, 8, 16, &mut rng);
+        assert_eq!(t.shape(), &[3, 8, 16]);
+    }
+}

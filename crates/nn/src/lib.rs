@@ -1,0 +1,21 @@
+//! # gaia-nn
+//!
+//! Neural-network building blocks on top of [`gaia_tensor`]: a parameter
+//! store, initialisers, layers (linear, conv1d, multi-head attention, LSTM
+//! cell, gated temporal convolution), optimisers and training utilities.
+//!
+//! Everything the Gaia model and the Table I baselines need is here, so all
+//! methods compete on an identical substrate — the reproduction analogue of
+//! the paper's "with AGL framework, we use Keras".
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod params;
+
+pub use layers::{
+    causal_mask, dropout, Conv1d, GluConv, LayerNorm, Linear, LstmCell, Mlp,
+    MultiHeadSelfAttention,
+};
+pub use optim::{Adam, Sgd};
+pub use params::{Param, ParamId, ParamStore};

@@ -1,0 +1,168 @@
+//! Optimisers. The paper trains Gaia with Adam; plain SGD is kept for
+//! diagnostics and optimiser-sensitivity experiments.
+
+use crate::params::ParamStore;
+use gaia_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum factor (0 disables).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// New SGD optimiser.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Apply one update using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.velocity.len() != store.len() {
+            self.velocity = store
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().to_vec()))
+                .collect();
+        }
+        for (i, p) in store.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                let mut nv = v.scale(self.momentum);
+                nv.add_assign_scaled(&p.grad, 1.0);
+                *v = nv;
+                p.value.add_assign_scaled(&self.velocity[i], -self.lr);
+            } else {
+                p.value.add_assign_scaled(&p.grad, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) — the optimiser of Section V-A3.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (the paper uses 1e-5 at Alipay scale; the synthetic
+    /// harness defaults to 1e-2..1e-3 to converge in few epochs).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Apply one Adam update using the gradients accumulated in `store`.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        if self.m.len() != store.len() {
+            self.m = store.iter().map(|p| Tensor::zeros(p.value.shape().to_vec())).collect();
+            self.v = store.iter().map(|p| Tensor::zeros(p.value.shape().to_vec())).collect();
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in store.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..p.grad.len() {
+                let grad = p.grad.data()[j];
+                let mj = self.beta1 * m.data()[j] + (1.0 - self.beta1) * grad;
+                let vj = self.beta2 * v.data()[j] + (1.0 - self.beta2) * grad * grad;
+                m.data_mut()[j] = mj;
+                v.data_mut()[j] = vj;
+                let m_hat = mj / b1t;
+                let v_hat = vj / b2t;
+                p.value.data_mut()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_tensor::Graph;
+
+    /// Minimise (w - 3)^2 and check convergence.
+    fn quadratic_descent(optim: &mut dyn FnMut(&mut ParamStore)) -> f32 {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::scalar(0.0));
+        for _ in 0..400 {
+            ps.zero_grads();
+            let mut g = Graph::new();
+            let wv = ps.bind(&mut g, w);
+            let target = Tensor::scalar(3.0);
+            let loss = g.mse(wv, &target);
+            g.backward(loss);
+            ps.accumulate_grads(&g);
+            optim(&mut ps);
+        }
+        ps.get(w).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let w = quadratic_descent(&mut |ps| sgd.step(ps));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let w = quadratic_descent(&mut |ps| sgd.step(ps));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.05);
+        let w = quadratic_descent(&mut |ps| adam.step(ps));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+        assert_eq!(adam.steps(), 400);
+    }
+
+    #[test]
+    fn adam_handles_sparse_grad_scales() {
+        // Two params with gradients differing by 1e4 in magnitude still both
+        // move at comparable speed (the point of Adam).
+        let mut ps = ParamStore::new();
+        let a = ps.add("a", Tensor::scalar(0.0));
+        let b = ps.add("b", Tensor::scalar(0.0));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..50 {
+            ps.zero_grads();
+            let mut g = Graph::new();
+            let av = ps.bind(&mut g, a);
+            let bv = ps.bind(&mut g, b);
+            let bs = g.scale(bv, 100.0);
+            let s = g.add(av, bs);
+            let target = Tensor::scalar(500.0);
+            let loss = g.mse(s, &target);
+            g.backward(loss);
+            ps.accumulate_grads(&g);
+            adam.step(&mut ps);
+        }
+        assert!(ps.get(a).data()[0] > 1.0);
+        assert!(ps.get(b).data()[0] > 1.0);
+    }
+}

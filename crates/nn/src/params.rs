@@ -1,0 +1,219 @@
+//! Trainable-parameter storage shared by every model in the reproduction.
+//!
+//! Parameters live outside the autodiff tape (one tape per mini-batch) and
+//! are bound into it as leaves. After `Graph::backward`, gradients are pulled
+//! back with [`ParamStore::accumulate_grads`], optionally clipped, and
+//! consumed by an optimiser from [`crate::optim`].
+
+use gaia_tensor::{Graph, Tensor, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Handle to one parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One named trainable tensor plus its gradient accumulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Dotted path such as `gaia.ffl.w_fuse` — useful for debugging and for
+    /// checkpoint diffing.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (zeroed by [`ParamStore::zero_grads`]).
+    pub grad: Tensor,
+}
+
+/// Flat registry of all parameters of a model.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (used by optimisers and checkpoint loading).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Bind a parameter into a tape as a trainable leaf.
+    pub fn bind(&self, g: &mut Graph, id: ParamId) -> VarId {
+        g.bind_param(id.0, self.params[id.0].value.clone())
+    }
+
+    /// Pull gradients of all bound parameters out of a tape after
+    /// `Graph::backward`, *adding* them to the accumulators (so several
+    /// tapes/examples can contribute to one optimiser step).
+    pub fn accumulate_grads(&mut self, g: &Graph) {
+        for (key, grad) in g.param_grads() {
+            self.params[key].grad.add_assign_scaled(grad, 1.0);
+        }
+    }
+
+    /// Add `alpha * grad` into the accumulator of parameter `idx` (used by
+    /// multi-threaded trainers that harvest gradients off-thread).
+    pub fn add_grad(&mut self, idx: usize, grad: &Tensor, alpha: f32) {
+        self.params[idx].grad.add_assign_scaled(grad, alpha);
+    }
+
+    /// Reset all gradient accumulators to zero.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            let z = Tensor::zeros(p.value.shape().to_vec());
+            p.grad = z;
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.params.iter().map(|p| p.grad.sq_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grads(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                let scaled = p.grad.scale(s);
+                p.grad = scaled;
+            }
+        }
+        norm
+    }
+
+    /// Number of registered parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Iterate over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Mutable iteration (used by optimisers).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Serialize the whole store (a model checkpoint) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialization cannot fail")
+    }
+
+    /// Restore a checkpoint produced by [`ParamStore::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Copy values from another store with identical layout (publish step of
+    /// the serving pipeline).
+    pub fn load_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.params.len(), other.params.len(), "param count mismatch");
+        for (dst, src) in self.params.iter_mut().zip(other.params.iter()) {
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "shape mismatch for {}",
+                dst.name
+            );
+            dst.value = src.value.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        assert_eq!(ps.get(id).data(), &[1.0, 2.0]);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 2);
+    }
+
+    #[test]
+    fn bind_and_harvest_grads() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::from_vec(vec![2], vec![3.0, -1.0]));
+        let mut g = Graph::new();
+        let w = ps.bind(&mut g, id);
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        ps.accumulate_grads(&g);
+        // d/dw sum(w^2) = 2w.
+        assert_eq!(ps.grad(id).data(), &[6.0, -2.0]);
+        // Accumulation adds across tapes.
+        ps.accumulate_grads(&g);
+        assert_eq!(ps.grad(id).data(), &[12.0, -4.0]);
+        ps.zero_grads();
+        assert_eq!(ps.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grads_caps_norm() {
+        let mut ps = ParamStore::new();
+        let id = ps.add("w", Tensor::from_vec(vec![2], vec![0.0, 0.0]));
+        ps.params[id.0].grad = Tensor::from_vec(vec![2], vec![3.0, 4.0]); // norm 5
+        let pre = ps.clip_grads(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut ps = ParamStore::new();
+        ps.add("a", Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        let json = ps.to_json();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.get(ParamId(0)).data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn load_values_from_other_store() {
+        let mut a = ParamStore::new();
+        let id = a.add("w", Tensor::zeros(vec![2]));
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::from_vec(vec![2], vec![5.0, 6.0]));
+        a.load_values_from(&b);
+        assert_eq!(a.get(id).data(), &[5.0, 6.0]);
+    }
+}

@@ -1,0 +1,13 @@
+//! # gaia-serving
+//!
+//! The Section VI deployment simulation: a monthly-scheduled offline
+//! pipeline (feature extraction → graph build → Gaia training → artifact
+//! publish) and an online model server answering real-time forecasts for
+//! new-coming e-sellers from their ego subgraphs, with hot model swaps and
+//! a worker-pool request path.
+
+pub mod offline;
+pub mod server;
+
+pub use offline::{ModelArtifact, OfflinePipeline};
+pub use server::{linearity_r2, ModelServer, ServeStats};

@@ -1,0 +1,240 @@
+//! The online half of the Fig. 5 deployment: a model server that answers
+//! real-time GMV forecasts for (possibly new-coming) e-sellers from their
+//! ego subgraph, with hot model swaps when the offline pipeline publishes.
+//!
+//! Concurrency model: the model lives behind a `parking_lot::RwLock`;
+//! requests fan out over a crossbeam channel to a worker pool, matching the
+//! paper's observation that inference scales linearly with the number of
+//! clients.
+
+use crate::offline::ModelArtifact;
+use gaia_core::trainer::{predict_nodes, Prediction};
+use gaia_core::Gaia;
+use gaia_graph::EsellerGraph;
+use gaia_synth::Dataset;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Online model server holding the published Gaia model plus the feature /
+/// graph stores needed to serve predictions.
+pub struct ModelServer {
+    model: RwLock<Gaia>,
+    version: AtomicU64,
+    graph: EsellerGraph,
+    ds: Dataset,
+    seed: u64,
+}
+
+/// Latency/throughput measurement returned by [`ModelServer::predict_many`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Number of predictions served.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+    /// Throughput in predictions per second.
+    pub per_second: f64,
+}
+
+impl ModelServer {
+    /// Boot a server from a published artifact and the online stores.
+    pub fn new(artifact: &ModelArtifact, graph: EsellerGraph, ds: Dataset, seed: u64) -> Self {
+        let mut model = Gaia::new(artifact.config.clone(), 0);
+        model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
+        Self {
+            model: RwLock::new(model),
+            version: AtomicU64::new(artifact.version),
+            graph,
+            ds,
+            seed,
+        }
+    }
+
+    /// Hot-swap to a newer published model (no downtime: readers finish on
+    /// the old parameters, new requests see the new ones).
+    pub fn publish(&self, artifact: &ModelArtifact) {
+        let mut model = Gaia::new(artifact.config.clone(), 0);
+        model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
+        *self.model.write() = model;
+        self.version.store(artifact.version, Ordering::SeqCst);
+    }
+
+    /// Currently served model version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Predict one shop (real-time path for a new-coming e-seller: its ego
+    /// subgraph is extracted from the online graph store on the fly).
+    pub fn predict_one(&self, shop: usize) -> Prediction {
+        let model = self.model.read();
+        predict_nodes(&*model, &self.ds, &self.graph, &[shop], self.seed, 1)
+            .pop()
+            .expect("one prediction")
+    }
+
+    /// Predict a batch of shops with `workers` threads, returning the
+    /// predictions and serving statistics.
+    pub fn predict_many(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
+        let t0 = std::time::Instant::now();
+        let model = self.model.read();
+        let preds = predict_nodes(&*model, &self.ds, &self.graph, shops, self.seed, workers);
+        let seconds = t0.elapsed().as_secs_f64();
+        let stats = ServeStats {
+            requests: shops.len(),
+            seconds,
+            per_second: shops.len() as f64 / seconds.max(1e-9),
+        };
+        (preds, stats)
+    }
+
+    /// Serve a request stream through a crossbeam channel worker pool —
+    /// the shape of the production request path. Results arrive unordered.
+    pub fn serve_stream(self: &Arc<Self>, shops: Vec<usize>, workers: usize) -> Vec<Prediction> {
+        let (req_tx, req_rx) = crossbeam::channel::unbounded::<usize>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<Prediction>();
+        for shop in shops {
+            req_tx.send(shop).expect("queue open");
+        }
+        drop(req_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1) {
+                let rx = req_rx.clone();
+                let tx = res_tx.clone();
+                let server = Arc::clone(self);
+                scope.spawn(move || {
+                    while let Ok(shop) = rx.recv() {
+                        let pred = server.predict_one(shop);
+                        if tx.send(pred).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            res_rx.iter().collect()
+        })
+    }
+
+    /// Measure inference time as a function of client count — the Section VI
+    /// scaling claim ("inference time scales linearly with the number of
+    /// clients"). Returns `(clients, seconds)` pairs.
+    pub fn scaling_curve(&self, sizes: &[usize], workers: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(sizes.len());
+        for &size in sizes {
+            let shops: Vec<usize> = (0..size).map(|i| i % self.ds.n).collect();
+            let (_, stats) = self.predict_many(&shops, workers);
+            out.push((size, stats.seconds));
+        }
+        out
+    }
+}
+
+/// Least-squares linearity check for a scaling curve: returns the R² of
+/// seconds ~ clients. Values near 1 confirm the paper's linear-scaling
+/// claim.
+pub fn linearity_r2(curve: &[(usize, f64)]) -> f64 {
+    let n = curve.len() as f64;
+    if curve.len() < 2 {
+        return 1.0;
+    }
+    let mx = curve.iter().map(|&(x, _)| x as f64).sum::<f64>() / n;
+    let my = curve.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in curve {
+        let dx = x as f64 - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflinePipeline;
+    use gaia_core::trainer::TrainConfig;
+    use gaia_core::GaiaConfig;
+    use gaia_graph::EgoConfig;
+    use gaia_synth::{generate_dataset, WorldConfig};
+
+    fn booted_server() -> (Arc<ModelServer>, OfflinePipeline, gaia_synth::World) {
+        let (world, ds) = generate_dataset(WorldConfig::tiny());
+        let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 8;
+        cfg.kernel_groups = 2;
+        cfg.layers = 1;
+        cfg.ego = EgoConfig { hops: 1, fanout: 3 };
+        let tc = TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
+        let mut pipeline = OfflinePipeline::new(cfg, tc, 3);
+        let (artifact, ds, _) = pipeline.execute_month(&world);
+        let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
+        (server, pipeline, world)
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let (server, _, _) = booted_server();
+        let single = server.predict_one(3);
+        let (batch, stats) = server.predict_many(&[3], 1);
+        assert_eq!(single.currency, batch[0].currency);
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn hot_swap_changes_version_and_parameters() {
+        let (server, mut pipeline, world) = booted_server();
+        assert_eq!(server.version(), 1);
+        let before = server.predict_one(5);
+        let (artifact2, _, _) = pipeline.execute_month(&world);
+        server.publish(&artifact2);
+        assert_eq!(server.version(), 2);
+        let after = server.predict_one(5);
+        // Different seed/version training should change some output.
+        assert_ne!(before.model_space, after.model_space);
+    }
+
+    #[test]
+    fn stream_serving_returns_all_requests() {
+        let (server, _, _) = booted_server();
+        let shops: Vec<usize> = (0..20).collect();
+        let preds = server.serve_stream(shops.clone(), 4);
+        assert_eq!(preds.len(), 20);
+        let mut seen: Vec<usize> = preds.iter().map(|p| p.node).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, shops);
+    }
+
+    #[test]
+    fn stream_matches_direct_prediction() {
+        let (server, _, _) = booted_server();
+        let direct = server.predict_one(7);
+        let stream = server.serve_stream(vec![7], 2);
+        assert_eq!(stream[0].currency, direct.currency);
+    }
+
+    #[test]
+    fn linearity_r2_on_perfect_line() {
+        let curve = vec![(100, 1.0), (200, 2.0), (400, 4.0)];
+        assert!((linearity_r2(&curve) - 1.0).abs() < 1e-12);
+        let flat = vec![(100, 1.0), (200, 1.0)];
+        assert_eq!(linearity_r2(&flat), 1.0);
+    }
+
+    #[test]
+    fn scaling_curve_grows_with_clients() {
+        let (server, _, _) = booted_server();
+        let curve = server.scaling_curve(&[10, 40], 2);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[1].1 >= curve[0].1 * 0.5, "time should roughly grow: {curve:?}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Configuration of the synthetic e-seller world.
+//!
+//! Defaults are scaled so the full Table I harness runs on a laptop in
+//! minutes while preserving the structures the paper exploits. GMV
+//! magnitudes are calibrated to the paper's metric ranges (monthly GMV in
+//! the hundreds of thousands, so MAE in the tens of thousands and MAPE
+//! around 0.1 are the natural scales).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the generated world.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of shops (nodes). The paper has ~3M; the default world keeps
+    /// the same graph shape at a tractable size.
+    pub n_shops: usize,
+    /// Total generated months (input window + horizon + slack for lags).
+    pub months: usize,
+    /// Input window `T` — the paper uses the last 24 months of GMV.
+    pub input_window: usize,
+    /// Forecast horizon `T'` — the paper predicts 3 future months
+    /// (Oct/Nov/Dec 2020).
+    pub horizon: usize,
+    /// Number of industries (each with its own seasonal market factor).
+    pub n_industries: usize,
+    /// Number of registration regions (static feature only).
+    pub n_regions: usize,
+    /// Fraction of shops that are suppliers (upstream in supply chains).
+    pub supplier_fraction: f64,
+    /// Mean number of suppliers linked to each retailer.
+    pub suppliers_per_retailer: f64,
+    /// Fraction of shops belonging to a multi-shop owner cluster.
+    pub owner_cluster_fraction: f64,
+    /// Mean size of a multi-shop owner cluster (>= 2).
+    pub owner_cluster_size: f64,
+    /// Probability that an owner-cluster link is recorded as
+    /// `SameShareholder` rather than `SameOwner`.
+    pub shareholder_prob: f64,
+    /// Fraction of shops that have the complete history (old shops); the
+    /// remainder have a skewed-short history — the temporal deficiency of
+    /// Fig 1(a).
+    pub full_history_fraction: f64,
+    /// Supplier lead over retailers, in months (inter temporal shift).
+    pub supply_lead_months: std::ops::Range<usize>,
+    /// Amplitude of the annual seasonal component (intra temporal shift).
+    pub seasonal_amplitude: f64,
+    /// Amplitude of the shared market factor.
+    pub market_amplitude: f64,
+    /// Amplitude of the owner promotion factor (festival spikes).
+    pub owner_amplitude: f64,
+    /// Log-space iid noise std.
+    pub noise_std: f64,
+    /// Median monthly GMV in currency units.
+    pub base_gmv: f64,
+    /// Log-normal sigma of per-shop base scale.
+    pub base_sigma: f64,
+    /// RNG seed — the whole world is a deterministic function of this.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            n_shops: 1000,
+            // 36 months starting January: the 3-month horizon lands on
+            // Oct/Nov/Dec of year 3, mirroring the paper's evaluation months.
+            months: 36,
+            input_window: 24,
+            horizon: 3,
+            n_industries: 8,
+            n_regions: 10,
+            supplier_fraction: 0.3,
+            suppliers_per_retailer: 1.8,
+            owner_cluster_fraction: 0.35,
+            owner_cluster_size: 3.0,
+            shareholder_prob: 0.3,
+            full_history_fraction: 0.4,
+            supply_lead_months: 1..3,
+            seasonal_amplitude: 0.35,
+            market_amplitude: 0.45,
+            owner_amplitude: 0.5,
+            noise_std: 0.08,
+            base_gmv: 250_000.0,
+            base_sigma: 0.8,
+            seed: 7,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { n_shops: 60, months: 30, input_window: 24, seed: 11, ..Self::default() }
+    }
+
+    /// Index of the first forecast month (start of the `T'` horizon).
+    pub fn horizon_start(&self) -> usize {
+        self.months - self.horizon
+    }
+
+    /// Index of the first input month.
+    pub fn input_start(&self) -> usize {
+        self.horizon_start() - self.input_window
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.months < self.input_window + self.horizon {
+            return Err(format!(
+                "months {} < input_window {} + horizon {}",
+                self.months, self.input_window, self.horizon
+            ));
+        }
+        if self.n_shops == 0 || self.n_industries == 0 || self.n_regions == 0 {
+            return Err("counts must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.supplier_fraction)
+            || !(0.0..=1.0).contains(&self.owner_cluster_fraction)
+            || !(0.0..=1.0).contains(&self.full_history_fraction)
+        {
+            return Err("fractions must be within [0, 1]".into());
+        }
+        if self.supply_lead_months.start == 0 {
+            return Err("supply lead must be at least 1 month".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(WorldConfig::default().validate().is_ok());
+        assert!(WorldConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn window_arithmetic() {
+        let c = WorldConfig::default();
+        assert_eq!(c.horizon_start(), 33);
+        assert_eq!(c.input_start(), 9);
+        // Horizon months are Oct, Nov, Dec (0-based month-of-year 9, 10, 11).
+        assert_eq!(c.horizon_start() % 12, 9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = WorldConfig::default();
+        c.months = 10;
+        assert!(c.validate().is_err());
+        let mut c = WorldConfig::default();
+        c.supplier_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = WorldConfig::default();
+        c.supply_lead_months = 0..2;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Feature extraction — the offline extractor stack of Fig. 5 (GMV Series
+//! Extractor, Temporal/Static Feature Extractor) turning a [`World`] into
+//! model-ready instances.
+//!
+//! GMV enters the models as standardised `log1p` values (`Scaler`), which is
+//! also how predictions are mapped back to currency for MAE/RMSE/MAPE.
+
+use crate::config::WorldConfig;
+use crate::world::{month_of_year, Role, World};
+use gaia_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// `log1p` + z-score scaler fitted on training shops only.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scaler {
+    /// Mean of `ln(1+gmv)` over observed training cells.
+    pub mean: f32,
+    /// Std of the same population (floored at 1e-3).
+    pub std: f32,
+}
+
+impl Scaler {
+    /// Fit from raw currency values.
+    pub fn fit(raw: impl Iterator<Item = f64>) -> Self {
+        let logs: Vec<f64> = raw.map(|x| (1.0 + x.max(0.0)).ln()).collect();
+        assert!(!logs.is_empty(), "Scaler::fit on empty data");
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        Self { mean: mean as f32, std: (var.sqrt() as f32).max(1e-3) }
+    }
+
+    /// Currency → normalised log space.
+    pub fn normalize(&self, raw: f64) -> f32 {
+        (((1.0 + raw.max(0.0)).ln() as f32) - self.mean) / self.std
+    }
+
+    /// Normalised log space → currency.
+    pub fn denormalize(&self, z: f32) -> f64 {
+        ((z * self.std + self.mean) as f64).exp() - 1.0
+    }
+
+    /// Currency → *positive* model space: the z-scored log value shifted by
+    /// [`TARGET_SHIFT`]. Model outputs live here because the paper's
+    /// prediction head (Eq. 9) ends in a ReLU, so the target space must be
+    /// non-negative; the shift keeps targets ~N(TARGET_SHIFT, 1) > 0 while
+    /// preserving unit-scale gradients for the MSE loss.
+    pub fn normalize_pos(&self, raw: f64) -> f32 {
+        self.normalize(raw) + TARGET_SHIFT
+    }
+
+    /// Positive model space → currency (floored at zero — a model-space
+    /// value far below the shift corresponds to less than one currency unit).
+    pub fn denormalize_pos(&self, z: f32) -> f64 {
+        self.denormalize(z.max(0.0) - TARGET_SHIFT).max(0.0)
+    }
+}
+
+/// Train/validation/test split over shop ids.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Splits {
+    /// Training shop ids.
+    pub train: Vec<usize>,
+    /// Validation shop ids.
+    pub val: Vec<usize>,
+    /// Test shop ids (the Table I population).
+    pub test: Vec<usize>,
+}
+
+/// Model-ready dataset: per-shop input window features and horizon targets,
+/// plus the graph-independent bookkeeping every model shares.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Number of shops.
+    pub n: usize,
+    /// Input window length `T`.
+    pub t: usize,
+    /// Forecast horizon `T'`.
+    pub horizon: usize,
+    /// Normalised GMV input series, `[N][T]`.
+    pub gmv_norm: Vec<Vec<f32>>,
+    /// Auxiliary temporal features per shop, each `[T, d_t]`.
+    pub temporal: Vec<Tensor>,
+    /// Static features per shop, each `[1, d_s]`.
+    pub statics: Vec<Tensor>,
+    /// Raw currency targets `[N][T']` (future months).
+    pub targets_raw: Vec<Vec<f64>>,
+    /// Model-space targets `[N][T']` for the MSE loss (positive log space,
+    /// see [`Scaler::normalize_pos`]).
+    pub targets_norm: Vec<Vec<f32>>,
+    /// Observed months inside the input window per shop (`T` minus leading
+    /// zeros) — the Fig 3 grouping key.
+    pub observed_len: Vec<usize>,
+    /// The fitted scaler.
+    pub scaler: Scaler,
+    /// Largest model-space target seen on the training split, used to clamp
+    /// predictions before the exp() back-transform (early-training overshoot
+    /// would otherwise explode RMSE through the exponential).
+    pub max_model_z: f32,
+    /// Temporal feature width.
+    pub d_t: usize,
+    /// Static feature width.
+    pub d_s: usize,
+    /// Shop id splits.
+    pub splits: Splits,
+}
+
+/// Width of the auxiliary temporal feature vector:
+/// `[sin(month), cos(month), log-orders, log-customers, observed]`.
+pub const D_TEMPORAL: usize = 5;
+
+/// Offset added to z-scored log targets so the model-space targets are
+/// positive (the paper's prediction head, Eq. 9, ends in a ReLU). Targets
+/// are ~N(TARGET_SHIFT, 1); prediction heads initialise their output bias
+/// here so every model starts as the mean predictor.
+pub const TARGET_SHIFT: f32 = 4.0;
+
+/// Build the dataset from a generated world.
+pub fn build_dataset(world: &World) -> Dataset {
+    let cfg = &world.config;
+    let n = world.shops.len();
+    let t = cfg.input_window;
+    let horizon = cfg.horizon;
+    let in_start = cfg.input_start();
+    let fut_start = cfg.horizon_start();
+
+    // Deterministic 70/10/20 split.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_5711);
+    ids.shuffle(&mut rng);
+    let n_train = (n as f64 * 0.7) as usize;
+    let n_val = (n as f64 * 0.1) as usize;
+    let splits = Splits {
+        train: ids[..n_train].to_vec(),
+        val: ids[n_train..n_train + n_val].to_vec(),
+        test: ids[n_train + n_val..].to_vec(),
+    };
+
+    // Scaler fitted on observed training cells of the input window only.
+    let scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
+        let shop = &world.shops[v];
+        (in_start..fut_start)
+            .filter(move |&m| m >= shop.opened)
+            .map(move |m| shop.gmv[m])
+    }));
+
+    // Secondary scalers for auxiliary magnitudes, also train-only.
+    let orders_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
+        let shop = &world.shops[v];
+        (in_start..fut_start)
+            .filter(move |&m| m >= shop.opened)
+            .map(move |m| shop.orders[m])
+    }));
+    let customers_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
+        let shop = &world.shops[v];
+        (in_start..fut_start)
+            .filter(move |&m| m >= shop.opened)
+            .map(move |m| shop.customers[m])
+    }));
+
+    let d_s = cfg.n_industries + cfg.n_regions + 2;
+    let mut gmv_norm = Vec::with_capacity(n);
+    let mut temporal = Vec::with_capacity(n);
+    let mut statics = Vec::with_capacity(n);
+    let mut targets_raw = Vec::with_capacity(n);
+    let mut targets_norm = Vec::with_capacity(n);
+    let mut observed_len = Vec::with_capacity(n);
+
+    for v in 0..n {
+        let shop = &world.shops[v];
+        let mut series = Vec::with_capacity(t);
+        let mut feats = Tensor::zeros(vec![t, D_TEMPORAL]);
+        for (row, m) in (in_start..fut_start).enumerate() {
+            let observed = m >= shop.opened;
+            series.push(if observed { scaler.normalize(shop.gmv[m]) } else { 0.0 });
+            let moy = month_of_year(m) as f32;
+            *feats.at_mut(row, 0) = (std::f32::consts::TAU * moy / 12.0).sin();
+            *feats.at_mut(row, 1) = (std::f32::consts::TAU * moy / 12.0).cos();
+            *feats.at_mut(row, 2) = if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
+            *feats.at_mut(row, 3) =
+                if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
+            *feats.at_mut(row, 4) = if observed { 1.0 } else { 0.0 };
+        }
+        let mut stat = Tensor::zeros(vec![1, d_s]);
+        *stat.at_mut(0, shop.industry as usize) = 1.0;
+        *stat.at_mut(0, cfg.n_industries + shop.region as usize) = 1.0;
+        *stat.at_mut(0, cfg.n_industries + cfg.n_regions) =
+            if shop.role == Role::Supplier { 1.0 } else { 0.0 };
+        // Normalised age (how much of the window is observed).
+        let obs = (fut_start - in_start).saturating_sub(shop.opened.saturating_sub(in_start));
+        let obs = obs.min(t);
+        *stat.at_mut(0, cfg.n_industries + cfg.n_regions + 1) = obs as f32 / t as f32;
+
+        let raw: Vec<f64> = (fut_start..fut_start + horizon).map(|m| shop.gmv[m]).collect();
+        let norm: Vec<f32> = raw.iter().map(|&x| scaler.normalize_pos(x)).collect();
+
+        gmv_norm.push(series);
+        temporal.push(feats);
+        statics.push(stat);
+        targets_raw.push(raw);
+        targets_norm.push(norm);
+        observed_len.push(obs);
+    }
+
+    let max_model_z = splits
+        .train
+        .iter()
+        .flat_map(|&v| targets_norm[v].iter().copied())
+        .fold(TARGET_SHIFT, f32::max)
+        + 1.0;
+
+    Dataset {
+        n,
+        t,
+        horizon,
+        gmv_norm,
+        temporal,
+        statics,
+        targets_raw,
+        targets_norm,
+        observed_len,
+        scaler,
+        max_model_z,
+        d_t: D_TEMPORAL,
+        d_s,
+        splits,
+    }
+}
+
+impl Dataset {
+    /// Normalised-target tensor `[1, T']` for the loss.
+    pub fn target_tensor(&self, v: usize) -> Tensor {
+        Tensor::from_vec(vec![1, self.horizon], self.targets_norm[v].clone())
+    }
+
+    /// Map a model-space `[1, T']` prediction back to currency per month.
+    /// Values are clamped to `[0, max_model_z]` before the exponential
+    /// back-transform so an untrained or overshooting model cannot produce
+    /// astronomically large currency values.
+    pub fn denormalize_prediction(&self, pred: &Tensor) -> Vec<f64> {
+        pred.data()
+            .iter()
+            .map(|&z| self.scaler.denormalize_pos(z.min(self.max_model_z)).max(0.0))
+            .collect()
+    }
+
+    /// Shop ids in the test split whose observed window length is below
+    /// `threshold` ("New Shop Group" of Fig 3) and the rest ("Old Shop
+    /// Group").
+    pub fn new_old_groups(&self, threshold: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut new_group = Vec::new();
+        let mut old_group = Vec::new();
+        for &v in &self.splits.test {
+            if self.observed_len[v] < threshold {
+                new_group.push(v);
+            } else {
+                old_group.push(v);
+            }
+        }
+        (new_group, old_group)
+    }
+}
+
+/// Convenience: generate a world and its dataset in one call.
+pub fn generate_dataset(cfg: WorldConfig) -> (World, Dataset) {
+    let world = World::generate(cfg);
+    let ds = build_dataset(&world);
+    (world, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> (World, Dataset) {
+        generate_dataset(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn scaler_roundtrip() {
+        let s = Scaler::fit([10.0, 100.0, 1000.0, 250000.0].into_iter());
+        for raw in [5.0, 500.0, 50_000.0] {
+            let z = s.normalize(raw);
+            let back = s.denormalize(z);
+            assert!((back - raw).abs() / raw < 1e-3, "{raw} -> {z} -> {back}");
+        }
+    }
+
+    #[test]
+    fn pos_scaler_roundtrip_and_nonnegative() {
+        let s = Scaler::fit([10.0, 100.0, 1000.0, 250000.0].into_iter());
+        for raw in [5.0, 500.0, 50_000.0] {
+            let z = s.normalize_pos(raw);
+            assert!(z >= 0.0);
+            let back = s.denormalize_pos(z);
+            assert!((back - raw).abs() / raw < 1e-3, "{raw} -> {z} -> {back}");
+        }
+        // Negative model outputs clamp to zero currency.
+        assert_eq!(s.denormalize_pos(-1.0), 0.0);
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let (world, ds) = dataset();
+        assert_eq!(ds.n, world.shops.len());
+        for v in 0..ds.n {
+            assert_eq!(ds.gmv_norm[v].len(), ds.t);
+            assert_eq!(ds.temporal[v].shape(), &[ds.t, ds.d_t]);
+            assert_eq!(ds.statics[v].shape(), &[1, ds.d_s]);
+            assert_eq!(ds.targets_raw[v].len(), ds.horizon);
+        }
+    }
+
+    #[test]
+    fn splits_partition_everything() {
+        let (_, ds) = dataset();
+        let mut seen = vec![false; ds.n];
+        for &v in ds.splits.train.iter().chain(&ds.splits.val).chain(&ds.splits.test) {
+            assert!(!seen[v], "shop {v} in two splits");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some shop missing from splits");
+    }
+
+    #[test]
+    fn unobserved_months_are_zeroed_and_masked() {
+        let (world, ds) = dataset();
+        let in_start = world.config.input_start();
+        for v in 0..ds.n {
+            let shop = &world.shops[v];
+            for row in 0..ds.t {
+                let m = in_start + row;
+                if m < shop.opened {
+                    assert_eq!(ds.gmv_norm[v][row], 0.0);
+                    assert_eq!(ds.temporal[v].at(row, 4), 0.0);
+                } else {
+                    assert_eq!(ds.temporal[v].at(row, 4), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_one_hots_sum_to_two_plus_extras() {
+        let (world, ds) = dataset();
+        for v in 0..ds.n {
+            let s = &ds.statics[v];
+            let ind_sum: f32 = (0..world.config.n_industries).map(|i| s.at(0, i)).sum();
+            let reg_sum: f32 = (0..world.config.n_regions)
+                .map(|i| s.at(0, world.config.n_industries + i))
+                .sum();
+            assert_eq!(ind_sum, 1.0);
+            assert_eq!(reg_sum, 1.0);
+        }
+    }
+
+    #[test]
+    fn targets_are_future_months() {
+        let (world, ds) = dataset();
+        let fut = world.config.horizon_start();
+        for v in 0..ds.n.min(10) {
+            for h in 0..ds.horizon {
+                assert_eq!(ds.targets_raw[v][h], world.shops[v].gmv[fut + h]);
+            }
+        }
+    }
+
+    #[test]
+    fn new_old_grouping_respects_threshold() {
+        let (_, ds) = dataset();
+        let (new_g, old_g) = ds.new_old_groups(10);
+        for &v in &new_g {
+            assert!(ds.observed_len[v] < 10);
+        }
+        for &v in &old_g {
+            assert!(ds.observed_len[v] >= 10);
+        }
+        assert_eq!(new_g.len() + old_g.len(), ds.splits.test.len());
+    }
+
+    #[test]
+    fn denormalize_prediction_is_positive() {
+        let (_, ds) = dataset();
+        let pred = Tensor::from_vec(vec![1, 3], vec![3.0, 4.0, 4.5]);
+        let out = ds.denormalize_prediction(&pred);
+        assert!(out.iter().all(|&x| x >= 0.0));
+        assert!(out[2] > out[1] && out[1] > out[0]);
+        // Overshoot is clamped, not exploded.
+        let wild = Tensor::from_vec(vec![1, 3], vec![50.0, 50.0, 50.0]);
+        let capped = ds.denormalize_prediction(&wild);
+        assert!(capped[0] <= ds.scaler.denormalize_pos(ds.max_model_z) + 1.0);
+    }
+}

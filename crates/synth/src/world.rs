@@ -1,0 +1,548 @@
+//! Synthetic e-seller world generation.
+//!
+//! The generator is the stand-in for the paper's proprietary Alipay data. It
+//! produces exactly the structures the paper's model design exploits:
+//!
+//! * **Temporal deficiency** (Fig 1a): shop ages follow a skewed
+//!   distribution, so many shops have short GMV series.
+//! * **Intra temporal shift**: every shop carries an annual seasonal
+//!   component — its GMV resembles itself 12 months ago.
+//! * **Inter temporal shift**: suppliers track their industry's market
+//!   factor *ahead* of retailers (retailers buy first, sell later), so a
+//!   supplier's series is a left-shifted version of its retailers'.
+//! * **Same-owner coherence**: shops in one owner cluster share promotion
+//!   spikes (shopping festivals in months 6, 11, 12).
+//!
+//! GMV is multiplicative in log space:
+//! `gmv_v(t) = base_v · exp(market + seasonal + owner + noise)`.
+
+use crate::config::WorldConfig;
+use gaia_graph::{Edge, EdgeType, EsellerGraph};
+use gaia_tensor::gauss;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Role of a shop in supply chains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Upstream: sells goods to retailers; leads the market factor.
+    Supplier,
+    /// Downstream: sells to consumers; follows the market factor.
+    Retailer,
+}
+
+/// One generated shop.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Shop {
+    /// Raw monthly GMV in currency units; months before `opened` are 0.
+    pub gmv: Vec<f64>,
+    /// Monthly order counts (auxiliary temporal feature / mining input).
+    pub orders: Vec<f64>,
+    /// Monthly unique customers (auxiliary temporal feature).
+    pub customers: Vec<f64>,
+    /// First month with activity.
+    pub opened: usize,
+    /// Industry id.
+    pub industry: u16,
+    /// Registration region id.
+    pub region: u16,
+    /// Supply-chain role.
+    pub role: Role,
+    /// Owner cluster id (shops sharing it are same-owner linked).
+    pub owner: u32,
+    /// Months the shop leads the market factor by (suppliers only).
+    pub lead: usize,
+}
+
+impl Shop {
+    /// Observed series length within a window ending at `end` (exclusive).
+    pub fn observed_len(&self, end: usize) -> usize {
+        end.saturating_sub(self.opened.max(0))
+    }
+}
+
+/// Ground-truth supply relation kept for evaluating the mining path.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrueSupplyLink {
+    /// Supplier shop id.
+    pub supplier: u32,
+    /// Retailer shop id.
+    pub retailer: u32,
+    /// Lead in months.
+    pub lead: usize,
+}
+
+/// A fully generated world: shops, the e-seller graph and bookkeeping.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct World {
+    /// Generation parameters.
+    pub config: WorldConfig,
+    /// All shops, indexed by node id.
+    pub shops: Vec<Shop>,
+    /// The e-seller graph (supply + same-owner/shareholder edges).
+    pub graph: EsellerGraph,
+    /// Ground-truth supply links (superset info for mining evaluation).
+    pub true_supply_links: Vec<TrueSupplyLink>,
+}
+
+/// Month-of-year (0-based) for a generated month index; the world starts in
+/// January of year 0 by convention.
+pub fn month_of_year(t: usize) -> usize {
+    t % 12
+}
+
+/// Shopping-festival boost applied in log space (6.18, 11.11 and 12.12
+/// festivals — the "willingness to participate in shopping festivals" of
+/// Section III-B).
+fn festival_boost(month: usize) -> f64 {
+    match month_of_year(month) {
+        5 => 0.5,   // June (6.18)
+        10 => 1.0,  // November (11.11)
+        11 => 0.7,  // December (12.12)
+        _ => 0.0,
+    }
+}
+
+impl World {
+    /// Generate a world deterministically from its configuration.
+    pub fn generate(config: WorldConfig) -> World {
+        config.validate().expect("invalid WorldConfig");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.n_shops;
+        let months = config.months;
+
+        // --- Industry market factors -------------------------------------
+        // Each industry has a seasonal phase, a mild trend and smooth noise.
+        // Evaluated analytically so suppliers can sample it at t + lead.
+        let industries: Vec<IndustryFactor> = (0..config.n_industries)
+            .map(|_| IndustryFactor {
+                phase: rng.gen_range(0.0..12.0),
+                trend: rng.gen_range(-0.01..0.02),
+                wobble_freq: rng.gen_range(0.2..0.6),
+                wobble_phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            })
+            .collect();
+
+        // --- Static assignments ------------------------------------------
+        let mut shops_meta: Vec<(u16, u16, Role, usize)> = (0..n)
+            .map(|_| {
+                let industry = rng.gen_range(0..config.n_industries) as u16;
+                let region = rng.gen_range(0..config.n_regions) as u16;
+                let role = if rng.gen_bool(config.supplier_fraction) {
+                    Role::Supplier
+                } else {
+                    Role::Retailer
+                };
+                let lead = if role == Role::Supplier {
+                    rng.gen_range(config.supply_lead_months.clone())
+                } else {
+                    0
+                };
+                (industry, region, role, lead)
+            })
+            .collect();
+        // Guarantee at least one supplier and one retailer per industry when
+        // possible, so supply chains exist everywhere.
+        for ind in 0..config.n_industries {
+            let members: Vec<usize> =
+                (0..n).filter(|&v| shops_meta[v].0 as usize == ind).collect();
+            if members.len() >= 2 {
+                let has_supplier = members.iter().any(|&v| shops_meta[v].2 == Role::Supplier);
+                if !has_supplier {
+                    let v = members[0];
+                    shops_meta[v].2 = Role::Supplier;
+                    shops_meta[v].3 = config.supply_lead_months.start;
+                }
+                let has_retailer = members.iter().any(|&v| shops_meta[v].2 == Role::Retailer);
+                if !has_retailer {
+                    shops_meta[members[1]].2 = Role::Retailer;
+                    shops_meta[members[1]].3 = 0;
+                }
+            }
+        }
+
+        // --- Owner clusters ------------------------------------------------
+        let mut owner_of = vec![u32::MAX; n];
+        let mut next_owner = 0u32;
+        let mut owner_factor: Vec<OwnerFactor> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if owner_of[i] != u32::MAX {
+                i += 1;
+                continue;
+            }
+            let owner = next_owner;
+            next_owner += 1;
+            owner_factor.push(OwnerFactor {
+                festival_affinity: rng.gen_range(0.2..1.0),
+                base_mood: rng.gen_range(-0.1..0.1),
+            });
+            owner_of[i] = owner;
+            if rng.gen_bool(config.owner_cluster_fraction) {
+                // Pull in additional shops for this owner.
+                let extra = ((config.owner_cluster_size - 1.0).max(0.0)
+                    * rng.gen_range(0.5..1.5))
+                .round() as usize;
+                let mut added = 0;
+                let mut j = i + 1;
+                while j < n && added < extra {
+                    if owner_of[j] == u32::MAX && rng.gen_bool(0.5) {
+                        owner_of[j] = owner;
+                        added += 1;
+                    }
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+
+        // --- Ages (temporal deficiency) ------------------------------------
+        // A fraction of shops is old (full history); the rest opened recently
+        // with a geometric-ish skew toward very short series.
+        // Every shop opens early enough to have nonzero targets and at least
+        // a few observed input months — the paper forecasts *existing*
+        // e-sellers, so the horizon itself is always observed.
+        let min_age = config.horizon + 3;
+        let opened: Vec<usize> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(config.full_history_fraction) {
+                    0
+                } else {
+                    // Age in months, biased short: age = months * u^2.
+                    let u: f64 = rng.gen_range(0.05..1.0);
+                    let age = ((months as f64) * u * u).max(min_age as f64) as usize;
+                    months.saturating_sub(age.min(months))
+                }
+            })
+            .collect();
+
+        // --- GMV synthesis --------------------------------------------------
+        let mut shops: Vec<Shop> = Vec::with_capacity(n);
+        for v in 0..n {
+            let (industry, region, role, lead) = shops_meta[v];
+            let base =
+                config.base_gmv * (gauss(&mut rng) as f64 * config.base_sigma).exp();
+            let of = &owner_factor[owner_of[v] as usize];
+            // Per-shop seasonal phase: mostly aligned with the industry but
+            // with small jitter, amplitude scaled by config.
+            let season_phase = industries[industry as usize].phase + rng.gen_range(-1.0..1.0);
+            let season_amp = config.seasonal_amplitude * rng.gen_range(0.5..1.5);
+            let avg_ticket = rng.gen_range(50.0..500.0);
+            let mut gmv = vec![0.0f64; months];
+            let mut orders = vec![0.0f64; months];
+            let mut customers = vec![0.0f64; months];
+            for t in opened[v]..months {
+                // Suppliers see market demand `lead` months early: retailers
+                // stock up before they sell, so every demand-driven component
+                // (market, seasonality, festivals) is left-shifted for them.
+                let t_eff = t as f64 + lead as f64;
+                let market = config.market_amplitude
+                    * industries[industry as usize].value(t_eff);
+                let seasonal = season_amp
+                    * (std::f64::consts::TAU * (t_eff + season_phase) / 12.0).sin();
+                // Festivals hit retailers directly; suppliers feel them early
+                // (stocking orders) at reduced strength.
+                let festival = match role {
+                    Role::Retailer => festival_boost(t),
+                    Role::Supplier => 0.6 * festival_boost(t + lead),
+                };
+                let owner_term =
+                    config.owner_amplitude * of.festival_affinity * festival + of.base_mood;
+                let noise = gauss(&mut rng) as f64 * config.noise_std;
+                let g = base * (market + seasonal + owner_term + noise).exp();
+                gmv[t] = g.max(1.0);
+                let o = (g / avg_ticket).max(1.0);
+                orders[t] = o * rng.gen_range(0.9..1.1);
+                customers[t] = (o * rng.gen_range(0.5..0.9)).max(1.0);
+            }
+            shops.push(Shop {
+                gmv,
+                orders,
+                customers,
+                opened: opened[v],
+                industry,
+                region,
+                role,
+                owner: owner_of[v],
+                lead,
+            });
+        }
+
+        // --- Edges -----------------------------------------------------------
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut true_links: Vec<TrueSupplyLink> = Vec::new();
+        // Supply chain: each retailer links to suppliers of its industry.
+        let suppliers_by_industry: Vec<Vec<u32>> = (0..config.n_industries)
+            .map(|ind| {
+                (0..n)
+                    .filter(|&v| shops[v].industry as usize == ind && shops[v].role == Role::Supplier)
+                    .map(|v| v as u32)
+                    .collect()
+            })
+            .collect();
+        for v in 0..n {
+            if shops[v].role != Role::Retailer {
+                continue;
+            }
+            let pool = &suppliers_by_industry[shops[v].industry as usize];
+            if pool.is_empty() {
+                continue;
+            }
+            let k = sample_poisson_like(config.suppliers_per_retailer, &mut rng)
+                .clamp(1, pool.len());
+            for _ in 0..k {
+                let s = pool[rng.gen_range(0..pool.len())];
+                edges.push(Edge { src: s, dst: v as u32, ty: EdgeType::SupplyChain });
+                true_links.push(TrueSupplyLink {
+                    supplier: s,
+                    retailer: v as u32,
+                    lead: shops[s as usize].lead,
+                });
+            }
+        }
+        // Same owner / shareholder: clique within each owner cluster.
+        let mut members: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for v in 0..n {
+            members.entry(shops[v].owner).or_default().push(v as u32);
+        }
+        for group in members.values() {
+            for a in 0..group.len() {
+                for b in (a + 1)..group.len() {
+                    let ty = if rng.gen_bool(config.shareholder_prob) {
+                        EdgeType::SameShareholder
+                    } else {
+                        EdgeType::SameOwner
+                    };
+                    edges.push(Edge { src: group[a], dst: group[b], ty });
+                }
+            }
+        }
+
+        let graph = EsellerGraph::from_edges(n, &edges);
+        World { config, shops, graph, true_supply_links: true_links }
+    }
+
+    /// Candidate `(supplier, retailer)` pairs for the mining path: all pairs
+    /// sharing an industry with opposite roles, capped per retailer.
+    pub fn mining_candidates(&self, cap_per_retailer: usize) -> Vec<(u32, u32)> {
+        let n = self.shops.len();
+        let mut out = Vec::new();
+        for r in 0..n {
+            if self.shops[r].role != Role::Retailer {
+                continue;
+            }
+            let mut count = 0;
+            for s in 0..n {
+                if count >= cap_per_retailer {
+                    break;
+                }
+                if self.shops[s].role == Role::Supplier
+                    && self.shops[s].industry == self.shops[r].industry
+                {
+                    out.push((s as u32, r as u32));
+                    count += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Smooth per-industry market factor, evaluable at fractional months so
+/// suppliers can lead it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct IndustryFactor {
+    phase: f64,
+    trend: f64,
+    wobble_freq: f64,
+    wobble_phase: f64,
+}
+
+impl IndustryFactor {
+    fn value(&self, t: f64) -> f64 {
+        let annual = (std::f64::consts::TAU * (t + self.phase) / 12.0).sin();
+        let wobble = 0.4 * (self.wobble_freq * t + self.wobble_phase).sin();
+        annual + wobble + self.trend * t
+    }
+}
+
+/// Per-owner behavioural factor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct OwnerFactor {
+    festival_affinity: f64,
+    base_mood: f64,
+}
+
+/// Small-mean integer sample approximating a Poisson draw (exact enough for
+/// choosing 1-4 suppliers).
+fn sample_poisson_like<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    let mut k = mean.floor() as usize;
+    if rng.gen_bool(mean - mean.floor()) {
+        k += 1;
+    }
+    // Add occasional extra link for heavy-ish tail.
+    if rng.gen_bool(0.1) {
+        k += 1;
+    }
+    k.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaia_graph::lagged_correlation;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn determinism() {
+        let a = World::generate(WorldConfig::tiny());
+        let b = World::generate(WorldConfig::tiny());
+        assert_eq!(a.shops[0].gmv, b.shops[0].gmv);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn shapes_and_positivity() {
+        let w = world();
+        assert_eq!(w.shops.len(), w.config.n_shops);
+        for shop in &w.shops {
+            assert_eq!(shop.gmv.len(), w.config.months);
+            for t in 0..shop.opened {
+                assert_eq!(shop.gmv[t], 0.0);
+            }
+            for t in shop.opened..w.config.months {
+                assert!(shop.gmv[t] >= 1.0, "gmv must be positive after opening");
+                assert!(shop.orders[t] >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn age_distribution_is_skewed() {
+        let w = World::generate(WorldConfig { n_shops: 2000, ..WorldConfig::default() });
+        let full = w.shops.iter().filter(|s| s.opened == 0).count();
+        let short = w
+            .shops
+            .iter()
+            .filter(|s| s.observed_len(w.config.horizon_start()) < 10)
+            .count();
+        // Close to the configured fraction of old shops...
+        assert!((full as f64 / 2000.0 - 0.4).abs() < 0.08, "full fraction {}", full);
+        // ...and a sizeable "new shop" group exists for the Fig 3 experiment.
+        assert!(short > 100, "short-history shops: {short}");
+    }
+
+    #[test]
+    fn supply_chain_lead_is_detectable() {
+        // A supplier's GMV should correlate more strongly with its retailer's
+        // *future* than with its present — averaged over true links.
+        let w = World::generate(WorldConfig { n_shops: 400, noise_std: 0.02, ..WorldConfig::default() });
+        let mut lead_scores = 0.0;
+        let mut sync_scores = 0.0;
+        let mut count = 0;
+        for link in &w.true_supply_links {
+            let s = &w.shops[link.supplier as usize];
+            let r = &w.shops[link.retailer as usize];
+            if s.opened > 0 || r.opened > 0 {
+                continue;
+            }
+            let sv: Vec<f32> = s.gmv.iter().map(|&x| (x as f32).ln()).collect();
+            let rv: Vec<f32> = r.gmv.iter().map(|&x| (x as f32).ln()).collect();
+            lead_scores += lagged_correlation(&sv, &rv, link.lead);
+            sync_scores += lagged_correlation(&sv, &rv, 0);
+            count += 1;
+        }
+        assert!(count > 20, "need enough fully-observed links, got {count}");
+        let lead_avg = lead_scores / count as f32;
+        let sync_avg = sync_scores / count as f32;
+        assert!(
+            lead_avg > sync_avg + 0.05,
+            "lead corr {lead_avg} should beat sync corr {sync_avg}"
+        );
+    }
+
+    #[test]
+    fn seasonality_creates_annual_self_similarity() {
+        let w = World::generate(WorldConfig {
+            n_shops: 200,
+            months: 36,
+            noise_std: 0.02,
+            ..WorldConfig::default()
+        });
+        let mut annual = 0.0;
+        let mut offset7 = 0.0;
+        let mut count = 0;
+        for shop in &w.shops {
+            if shop.opened > 0 {
+                continue;
+            }
+            let v: Vec<f32> = shop.gmv.iter().map(|&x| (x as f32).ln()).collect();
+            annual += lagged_correlation(&v, &v, 12);
+            offset7 += lagged_correlation(&v, &v, 7);
+            count += 1;
+        }
+        assert!(count > 10);
+        assert!(
+            annual / count as f32 > offset7 / count as f32,
+            "12-month self-correlation should beat 7-month"
+        );
+    }
+
+    #[test]
+    fn owner_clusters_share_edges() {
+        let w = world();
+        let counts = w.graph.edge_type_counts();
+        assert!(counts[EdgeType::SameOwner.feature_index()] > 0);
+        assert!(counts[EdgeType::SupplyChain.feature_index()] > 0);
+    }
+
+    #[test]
+    fn mining_candidates_respect_roles() {
+        let w = world();
+        for (s, r) in w.mining_candidates(5) {
+            assert_eq!(w.shops[s as usize].role, Role::Supplier);
+            assert_eq!(w.shops[r as usize].role, Role::Retailer);
+            assert_eq!(w.shops[s as usize].industry, w.shops[r as usize].industry);
+        }
+    }
+
+    #[test]
+    fn festival_months_boost_november() {
+        // Average retailer GMV in November (month_of_year == 10) should beat
+        // the February baseline. Seasonal/market amplitudes are muted so the
+        // festival effect is isolated from the 8 random industry phases.
+        let w = World::generate(WorldConfig {
+            n_shops: 500,
+            seasonal_amplitude: 0.05,
+            market_amplitude: 0.05,
+            ..WorldConfig::default()
+        });
+        let mut nov = 0.0;
+        let mut feb = 0.0;
+        let mut n_nov = 0.0;
+        let mut n_feb = 0.0;
+        for shop in &w.shops {
+            if shop.role != Role::Retailer {
+                continue;
+            }
+            for t in shop.opened..w.config.months {
+                match month_of_year(t) {
+                    10 => {
+                        nov += shop.gmv[t].ln();
+                        n_nov += 1.0;
+                    }
+                    1 => {
+                        feb += shop.gmv[t].ln();
+                        n_feb += 1.0;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(nov / n_nov > feb / n_feb, "festival boost missing");
+    }
+}

@@ -1,0 +1,959 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every forward operation as a node holding its output
+//! value, its parent node ids and a backward closure mapping the upstream
+//! gradient to per-parent gradient contributions. Calling [`Graph::backward`]
+//! walks the tape in reverse topological order (which is simply reverse
+//! insertion order) and accumulates gradients.
+//!
+//! The design mirrors what the paper obtains from Keras/AGL: one tape per
+//! mini-batch, discarded after the optimiser step. Trainable parameters live
+//! outside the graph (in `gaia-nn`'s `ParamStore`) and are *bound* into the
+//! tape as leaves via [`Graph::bind_param`]; their gradients are harvested
+//! after `backward` through [`Graph::param_grads`].
+
+use crate::tensor::{conv1d, conv1d_backward, softmax_in_place, PadMode, Tensor};
+
+/// Identifier of a node on the tape.
+pub type VarId = usize;
+
+type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<VarId>,
+    backward: Option<BackwardFn>,
+}
+
+/// The autodiff tape. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    /// `(external key, leaf var)` pairs registered through [`Graph::bind_param`].
+    bindings: Vec<(usize, VarId)>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, parents: Vec<VarId>, backward: Option<BackwardFn>) -> VarId {
+        for &p in &parents {
+            debug_assert!(p < self.nodes.len(), "parent {p} out of range");
+        }
+        self.nodes.push(Node { value, parents, backward });
+        self.nodes.len() - 1
+    }
+
+    /// Insert a non-trainable constant leaf.
+    pub fn constant(&mut self, value: Tensor) -> VarId {
+        self.push(value, vec![], None)
+    }
+
+    /// Insert a trainable leaf identified by an external `key` (typically a
+    /// `ParamStore` slot). The gradient for this leaf can be retrieved with
+    /// [`Graph::param_grads`] after [`Graph::backward`].
+    pub fn bind_param(&mut self, key: usize, value: Tensor) -> VarId {
+        let id = self.push(value, vec![], None);
+        self.bindings.push((key, id));
+        id
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Gradient of a node (populated by [`Graph::backward`]).
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+
+    /// Iterate over `(external key, gradient)` pairs of bound parameters that
+    /// received a gradient during the last [`Graph::backward`] call.
+    pub fn param_grads(&self) -> impl Iterator<Item = (usize, &Tensor)> {
+        self.bindings
+            .iter()
+            .filter_map(move |&(key, var)| self.grad(var).map(|g| (key, g)))
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise / arithmetic ops
+    // ------------------------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.add(&self.nodes[b].value);
+        self.push(
+            v,
+            vec![a, b],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    /// Sum of several same-shape tensors (n-ary [`Graph::add`], used for
+    /// neighbourhood aggregation).
+    pub fn sum_vars(&mut self, xs: &[VarId]) -> VarId {
+        assert!(!xs.is_empty(), "sum_vars: empty input");
+        let mut v = self.nodes[xs[0]].value.clone();
+        for &x in &xs[1..] {
+            v = v.add(&self.nodes[x].value);
+        }
+        let n = xs.len();
+        self.push(
+            v,
+            xs.to_vec(),
+            Some(Box::new(move |g, _, _| (0..n).map(|_| g.clone()).collect())),
+        )
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.sub(&self.nodes[b].value);
+        self.push(
+            v,
+            vec![a, b],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)])),
+        )
+    }
+
+    /// Hadamard product `a ⊙ b` (same shape) — Eq. (7) of the paper.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.mul(&self.nodes[b].value);
+        self.push(
+            v,
+            vec![a, b],
+            Some(Box::new(|g, inputs, _| {
+                vec![g.mul(inputs[1]), g.mul(inputs[0])]
+            })),
+        )
+    }
+
+    /// Multiply by a compile-time scalar constant.
+    pub fn scale(&mut self, a: VarId, alpha: f32) -> VarId {
+        let v = self.nodes[a].value.scale(alpha);
+        self.push(v, vec![a], Some(Box::new(move |g, _, _| vec![g.scale(alpha)])))
+    }
+
+    /// Elementwise multiply by a constant tensor (dropout masks, padding masks).
+    pub fn mul_const(&mut self, a: VarId, mask: Tensor) -> VarId {
+        let v = self.nodes[a].value.mul(&mask);
+        self.push(v, vec![a], Some(Box::new(move |g, _, _| vec![g.mul(&mask)])))
+    }
+
+    /// Broadcast-multiply tensor `x` by the 1-element tensor `s` —
+    /// used for attention-weighted aggregation `α_{u,v} · CAU(·)`.
+    pub fn mul_scalar(&mut self, x: VarId, s: VarId) -> VarId {
+        assert_eq!(self.nodes[s].value.len(), 1, "mul_scalar: s must be scalar");
+        let sv = self.nodes[s].value.data()[0];
+        let v = self.nodes[x].value.scale(sv);
+        self.push(
+            v,
+            vec![x, s],
+            Some(Box::new(|g, inputs, _| {
+                let s = inputs[1].data()[0];
+                let dx = g.scale(s);
+                let ds = Tensor::scalar(g.mul(inputs[0]).sum());
+                vec![dx, ds]
+            })),
+        )
+    }
+
+    /// Broadcast-add a bias `b: [c]` (or `[1, c]`) to every row of `x: [r, c]`.
+    pub fn add_bias(&mut self, x: VarId, b: VarId) -> VarId {
+        let xv = &self.nodes[x].value;
+        let bv = &self.nodes[b].value;
+        let c = xv.cols();
+        assert_eq!(bv.len(), c, "add_bias: bias len {} != cols {}", bv.len(), c);
+        let mut v = xv.clone();
+        for r in 0..v.rows() {
+            for j in 0..c {
+                *v.at_mut(r, j) += bv.data()[j];
+            }
+        }
+        self.push(
+            v,
+            vec![x, b],
+            Some(Box::new(|g, inputs, _| {
+                let c = g.cols();
+                let mut db = Tensor::zeros(inputs[1].shape().to_vec());
+                for r in 0..g.rows() {
+                    for j in 0..c {
+                        db.data_mut()[j] += g.at(r, j);
+                    }
+                }
+                vec![g.clone(), db]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product `a[m,k] @ b[k,n]`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        self.push(
+            v,
+            vec![a, b],
+            Some(Box::new(|g, inputs, _| {
+                let da = g.matmul(&inputs[1].transpose());
+                let db = inputs[0].transpose().matmul(g);
+                vec![da, db]
+            })),
+        )
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.transpose();
+        self.push(v, vec![a], Some(Box::new(|g, _, _| vec![g.transpose()])))
+    }
+
+    /// Reshape (free reinterpretation of the buffer).
+    pub fn reshape(&mut self, a: VarId, shape: Vec<usize>) -> VarId {
+        let old_shape = self.nodes[a].value.shape().to_vec();
+        let v = self.nodes[a].value.reshaped(shape);
+        self.push(
+            v,
+            vec![a],
+            Some(Box::new(move |g, _, _| vec![g.reshaped(old_shape.clone())])),
+        )
+    }
+
+    /// Concatenate rank-2 tensors along columns — the `||` operator of Eqs
+    /// (4)-(6).
+    pub fn concat_cols(&mut self, xs: &[VarId]) -> VarId {
+        let parts: Vec<&Tensor> = xs.iter().map(|&x| &self.nodes[x].value).collect();
+        let widths: Vec<usize> = parts.iter().map(|p| p.cols()).collect();
+        let v = Tensor::concat_cols(&parts);
+        self.push(
+            v,
+            xs.to_vec(),
+            Some(Box::new(move |g, _, _| {
+                let rows = g.rows();
+                let mut out = Vec::with_capacity(widths.len());
+                let mut offset = 0;
+                for &w in &widths {
+                    let mut piece = Tensor::zeros(vec![rows, w]);
+                    for r in 0..rows {
+                        for c in 0..w {
+                            *piece.at_mut(r, c) = g.at(r, offset + c);
+                        }
+                    }
+                    out.push(piece);
+                    offset += w;
+                }
+                out
+            })),
+        )
+    }
+
+    /// Select the row range `[r0, r1)` of a rank-2 tensor.
+    pub fn slice_rows(&mut self, x: VarId, r0: usize, r1: usize) -> VarId {
+        let xv = &self.nodes[x].value;
+        let (rows, cols) = (xv.rows(), xv.cols());
+        assert!(r0 < r1 && r1 <= rows, "slice_rows: bad range {r0}..{r1} of {rows}");
+        let mut v = Tensor::zeros(vec![r1 - r0, cols]);
+        for r in r0..r1 {
+            for c in 0..cols {
+                *v.at_mut(r - r0, c) = xv.at(r, c);
+            }
+        }
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(move |g, inputs, _| {
+                let mut dx = Tensor::zeros(inputs[0].shape().to_vec());
+                for r in r0..r1 {
+                    for c in 0..g.cols() {
+                        *dx.at_mut(r, c) = g.at(r - r0, c);
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Mean over rows of `x: [r, c]`, producing `[1, c]` (readout pooling).
+    pub fn mean_rows(&mut self, x: VarId) -> VarId {
+        let xv = &self.nodes[x].value;
+        let (rows, cols) = (xv.rows(), xv.cols());
+        let mut v = Tensor::zeros(vec![1, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                *v.at_mut(0, c) += xv.at(r, c) / rows as f32;
+            }
+        }
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(move |g, _, _| {
+                let mut dx = Tensor::zeros(vec![rows, cols]);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        *dx.at_mut(r, c) = g.at(0, c) / rows as f32;
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Nonlinearities
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(
+            v,
+            vec![a],
+            Some(Box::new(|g, inputs, _| {
+                vec![g.zip_map(inputs[0], |gv, x| if x > 0.0 { gv } else { 0.0 })]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(
+            v,
+            vec![a],
+            Some(Box::new(|g, _, out| {
+                vec![g.zip_map(out, |gv, y| gv * y * (1.0 - y))]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a].value.map(f32::tanh);
+        self.push(
+            v,
+            vec![a],
+            Some(Box::new(|g, _, out| {
+                vec![g.zip_map(out, |gv, y| gv * (1.0 - y * y))]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Convolution & attention ops
+    // ------------------------------------------------------------------
+
+    /// Differentiable 1-D convolution along the time axis (see
+    /// [`crate::tensor::conv1d`]). `x: [T, c_in]`, `w: [k, c_in, c_out]`,
+    /// optional `b: [c_out]`.
+    pub fn conv1d(&mut self, x: VarId, w: VarId, b: Option<VarId>, pad: PadMode) -> VarId {
+        let bias = b.map(|id| &self.nodes[id].value);
+        let v = conv1d(&self.nodes[x].value, &self.nodes[w].value, bias, pad);
+        let mut parents = vec![x, w];
+        let has_bias = b.is_some();
+        if let Some(bid) = b {
+            parents.push(bid);
+        }
+        self.push(
+            v,
+            parents,
+            Some(Box::new(move |g, inputs, _| {
+                let (dx, dw, db) = conv1d_backward(inputs[0], inputs[1], g, pad);
+                if has_bias {
+                    vec![dx, dw, db]
+                } else {
+                    vec![dx, dw]
+                }
+            })),
+        )
+    }
+
+    /// Row-wise softmax with an optional additive mask (entries of `-1e9`
+    /// suppress positions — the `M` matrix of the CAU that blocks rightward
+    /// attention).
+    pub fn softmax_rows(&mut self, x: VarId, mask: Option<&Tensor>) -> VarId {
+        let xv = &self.nodes[x].value;
+        let (rows, cols) = (xv.rows(), xv.cols());
+        let mut logits = xv.clone();
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), xv.shape(), "softmax mask shape mismatch");
+            logits = logits.add(m);
+        }
+        let mut v = logits;
+        for r in 0..rows {
+            let row_start = r * cols;
+            softmax_in_place(&mut v.data_mut()[row_start..row_start + cols]);
+        }
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(move |g, _, out| {
+                // dL/dx_j = s_j * (g_j - sum_k g_k s_k) per row.
+                let mut dx = Tensor::zeros(vec![rows, cols]);
+                for r in 0..rows {
+                    let mut dot = 0.0;
+                    for c in 0..cols {
+                        dot += g.at(r, c) * out.at(r, c);
+                    }
+                    for c in 0..cols {
+                        *dx.at_mut(r, c) = out.at(r, c) * (g.at(r, c) - dot);
+                    }
+                }
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Stack `n` scalar nodes into a `[n]` vector (attention logits over a
+    /// neighbour set).
+    pub fn stack_scalars(&mut self, xs: &[VarId]) -> VarId {
+        let data: Vec<f32> = xs
+            .iter()
+            .map(|&x| {
+                let t = &self.nodes[x].value;
+                assert_eq!(t.len(), 1, "stack_scalars: non-scalar input of shape {:?}", t.shape());
+                t.data()[0]
+            })
+            .collect();
+        let n = xs.len();
+        self.push(
+            Tensor::from_vec(vec![n], data),
+            xs.to_vec(),
+            Some(Box::new(move |g, _, _| {
+                (0..n).map(|i| Tensor::scalar(g.data()[i])).collect()
+            })),
+        )
+    }
+
+    /// Softmax over a `[n]` vector (neighbour attention normalisation,
+    /// Eq. for `α_{u,v}`).
+    pub fn softmax_vec(&mut self, x: VarId) -> VarId {
+        let mut v = self.nodes[x].value.clone();
+        assert_eq!(v.shape().len(), 1, "softmax_vec: expects rank-1");
+        softmax_in_place(v.data_mut());
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(|g, _, out| {
+                let mut dot = 0.0;
+                for (gv, ov) in g.data().iter().zip(out.data()) {
+                    dot += gv * ov;
+                }
+                let dx = out.zip_map(g, |o, gv| o * (gv - dot));
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Extract element `i` of a rank-1 vector as a scalar node.
+    pub fn index_vec(&mut self, x: VarId, i: usize) -> VarId {
+        let xv = &self.nodes[x].value;
+        assert_eq!(xv.shape().len(), 1, "index_vec: expects rank-1");
+        let n = xv.len();
+        assert!(i < n, "index_vec: {i} out of {n}");
+        let v = Tensor::scalar(xv.data()[i]);
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(move |g, _, _| {
+                let mut dx = Tensor::zeros(vec![n]);
+                dx.data_mut()[i] = g.data()[0];
+                vec![dx]
+            })),
+        )
+    }
+
+    /// Row-wise layer normalisation with affine parameters:
+    /// `y = (x - mean_row) / sqrt(var_row + eps) * gamma + beta` for
+    /// `x: [r, c]`, `gamma, beta: [c]`. Exact backward through the
+    /// normalisation statistics.
+    pub fn layer_norm(&mut self, x: VarId, gamma: VarId, beta: VarId, eps: f32) -> VarId {
+        let xv = &self.nodes[x].value;
+        let (rows, cols) = (xv.rows(), xv.cols());
+        assert_eq!(self.nodes[gamma].value.len(), cols, "layer_norm: gamma len");
+        assert_eq!(self.nodes[beta].value.len(), cols, "layer_norm: beta len");
+        let gv = self.nodes[gamma].value.clone();
+        let bv = self.nodes[beta].value.clone();
+        let mut out = Tensor::zeros(vec![rows, cols]);
+        for r in 0..rows {
+            let row = xv.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for c in 0..cols {
+                *out.at_mut(r, c) = (row[c] - mean) * inv * gv.data()[c] + bv.data()[c];
+            }
+        }
+        self.push(
+            out,
+            vec![x, gamma, beta],
+            Some(Box::new(move |g, inputs, _| {
+                let x = inputs[0];
+                let gamma = inputs[1];
+                let (rows, cols) = (x.rows(), x.cols());
+                let mut dx = Tensor::zeros(vec![rows, cols]);
+                let mut dgamma = Tensor::zeros(vec![cols]);
+                let mut dbeta = Tensor::zeros(vec![cols]);
+                for r in 0..rows {
+                    let row = x.row(r);
+                    let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+                    let var: f32 =
+                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    // x_hat and the two row means needed by the backward pass.
+                    let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
+                    let gg: Vec<f32> =
+                        (0..cols).map(|c| g.at(r, c) * gamma.data()[c]).collect();
+                    let mean_gg: f32 = gg.iter().sum::<f32>() / cols as f32;
+                    let mean_gg_xhat: f32 =
+                        gg.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / cols as f32;
+                    for c in 0..cols {
+                        *dx.at_mut(r, c) = (gg[c] - mean_gg - xhat[c] * mean_gg_xhat) * inv;
+                        dgamma.data_mut()[c] += g.at(r, c) * xhat[c];
+                        dbeta.data_mut()[c] += g.at(r, c);
+                    }
+                }
+                vec![dx, dgamma, dbeta]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions & losses
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements, as a `[1]` tensor.
+    pub fn sum_all(&mut self, x: VarId) -> VarId {
+        let shape = self.nodes[x].value.shape().to_vec();
+        let v = Tensor::scalar(self.nodes[x].value.sum());
+        self.push(
+            v,
+            vec![x],
+            Some(Box::new(move |g, _, _| {
+                vec![Tensor::full(shape.clone(), g.data()[0])]
+            })),
+        )
+    }
+
+    /// Mean of all elements, as a `[1]` tensor.
+    pub fn mean_all(&mut self, x: VarId) -> VarId {
+        let n = self.nodes[x].value.len() as f32;
+        let s = self.sum_all(x);
+        self.scale(s, 1.0 / n)
+    }
+
+    /// Mean-squared-error loss against a constant target (Eq. 10).
+    pub fn mse(&mut self, pred: VarId, target: &Tensor) -> VarId {
+        let pv = &self.nodes[pred].value;
+        assert_eq!(pv.shape(), target.shape(), "mse: shape mismatch");
+        let n = pv.len() as f32;
+        let diff = pv.sub(target);
+        let v = Tensor::scalar(diff.sq_norm() / n);
+        let target = target.clone();
+        self.push(
+            v,
+            vec![pred],
+            Some(Box::new(move |g, inputs, _| {
+                let n = inputs[0].len() as f32;
+                let scale = 2.0 * g.data()[0] / n;
+                vec![inputs[0].sub(&target).scale(scale)]
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward pass
+    // ------------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from `root` (seeded with ones).
+    /// Typically `root` is a scalar loss.
+    pub fn backward(&mut self, root: VarId) {
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[root] = Some(Tensor::ones(self.nodes[root].value.shape().to_vec()));
+        for id in (0..=root).rev() {
+            let Some(gout) = grads[id].take() else { continue };
+            let node = &self.nodes[id];
+            if let Some(backward) = &node.backward {
+                let inputs: Vec<&Tensor> =
+                    node.parents.iter().map(|&p| &self.nodes[p].value).collect();
+                let contributions = backward(&gout, &inputs, &node.value);
+                debug_assert_eq!(contributions.len(), node.parents.len());
+                for (&p, dg) in node.parents.iter().zip(contributions) {
+                    match &mut grads[p] {
+                        Some(acc) => acc.add_assign_scaled(&dg, 1.0),
+                        slot => *slot = Some(dg),
+                    }
+                }
+            }
+            // Leaves keep their gradient for param harvesting.
+            if node.backward.is_none() {
+                grads[id] = Some(gout);
+            }
+        }
+        self.grads = grads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numeric gradient of `f` w.r.t. one leaf by central differences.
+    fn numeric_grad(
+        build: &dyn Fn(&mut Graph, &[Tensor]) -> VarId,
+        inputs: &[Tensor],
+        wrt: usize,
+    ) -> Tensor {
+        let eps = 1e-2f32;
+        let mut grad = Tensor::zeros(inputs[wrt].shape().to_vec());
+        for i in 0..inputs[wrt].len() {
+            let mut plus = inputs.to_vec();
+            plus[wrt].data_mut()[i] += eps;
+            let mut minus = inputs.to_vec();
+            minus[wrt].data_mut()[i] -= eps;
+            let mut gp = Graph::new();
+            let rp = build(&mut gp, &plus);
+            let mut gm = Graph::new();
+            let rm = build(&mut gm, &minus);
+            grad.data_mut()[i] =
+                (gp.value(rp).data()[0] - gm.value(rm).data()[0]) / (2.0 * eps);
+        }
+        grad
+    }
+
+    /// Check analytic vs numeric gradients for every input leaf.
+    fn check(build: &dyn Fn(&mut Graph, &[Tensor]) -> VarId, inputs: &[Tensor], tol: f32) {
+        let mut g = Graph::new();
+        let root = build(&mut g, inputs);
+        assert_eq!(g.value(root).len(), 1, "check expects a scalar output");
+        g.backward(root);
+        for (k, input) in inputs.iter().enumerate() {
+            let numeric = numeric_grad(build, inputs, k);
+            let analytic = g
+                .param_grads()
+                .find(|&(key, _)| key == k)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_else(|| Tensor::zeros(input.shape().to_vec()));
+            for i in 0..numeric.len() {
+                let (a, n) = (analytic.data()[i], numeric.data()[i]);
+                assert!(
+                    (a - n).abs() < tol + 0.05 * n.abs(),
+                    "input {k} elem {i}: analytic {a} vs numeric {n}"
+                );
+            }
+        }
+    }
+
+    fn rand_inputs(shapes: &[Vec<usize>], seed: u64) -> Vec<Tensor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        shapes.iter().map(|s| Tensor::randn(s.clone(), 0.7, &mut rng)).collect()
+    }
+
+    fn bind_all(g: &mut Graph, inputs: &[Tensor]) -> Vec<VarId> {
+        inputs.iter().enumerate().map(|(k, t)| g.bind_param(k, t.clone())).collect()
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        let inputs = rand_inputs(&[vec![3, 2], vec![3, 2], vec![3, 2]], 1);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let s = g.add(v[0], v[1]);
+                let p = g.mul(s, v[2]);
+                g.sum_all(p)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let inputs = rand_inputs(&[vec![3, 4], vec![4, 2]], 2);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let m = g.matmul(v[0], v[1]);
+                g.sum_all(m)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_and_reshape() {
+        let inputs = rand_inputs(&[vec![3, 4]], 3);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let t = g.transpose(v[0]);
+                let r = g.reshape(t, vec![2, 6]);
+                let rl = g.relu(r);
+                g.sum_all(rl)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_nonlinearities() {
+        let inputs = rand_inputs(&[vec![4, 3]], 4);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let s = g.sigmoid(v[0]);
+                let t = g.tanh(s);
+                let sq = g.mul(t, t);
+                g.mean_all(sq)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_add_bias() {
+        let inputs = rand_inputs(&[vec![4, 3], vec![3]], 5);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let y = g.add_bias(v[0], v[1]);
+                let y = g.tanh(y);
+                g.sum_all(y)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        let inputs = rand_inputs(&[vec![3, 2], vec![3, 3]], 6);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let c = g.concat_cols(&[v[0], v[1]]);
+                let s = g.sigmoid(c);
+                g.sum_all(s)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_conv1d_same_and_causal() {
+        for (seed, pad) in [(7, PadMode::Same), (8, PadMode::Causal)] {
+            let inputs = rand_inputs(&[vec![6, 2], vec![3, 2, 2], vec![2]], seed);
+            check(
+                &|g, ins| {
+                    let v = bind_all(g, ins);
+                    let y = g.conv1d(v[0], v[1], Some(v[2]), pad);
+                    let y = g.tanh(y);
+                    g.sum_all(y)
+                },
+                &inputs,
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_softmax_rows_masked() {
+        let inputs = rand_inputs(&[vec![4, 4]], 9);
+        // Causal mask like the CAU's M.
+        let mut mask = Tensor::zeros(vec![4, 4]);
+        for r in 0..4 {
+            for c in (r + 1)..4 {
+                *mask.at_mut(r, c) = -1e9;
+            }
+        }
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let s = g.softmax_rows(v[0], Some(&mask));
+                let sq = g.mul(s, s);
+                g.sum_all(sq)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_attention_block() {
+        // Full scaled-dot-product attention with causal mask — exactly the CAU
+        // core — checked end to end.
+        let inputs = rand_inputs(&[vec![5, 3], vec![5, 3], vec![5, 3]], 10);
+        let t = 5;
+        let mut mask = Tensor::zeros(vec![t, t]);
+        for r in 0..t {
+            for c in (r + 1)..t {
+                *mask.at_mut(r, c) = -1e9;
+            }
+        }
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let kt = g.transpose(v[1]);
+                let logits = g.matmul(v[0], kt);
+                let scaled = g.scale(logits, 1.0 / (3.0f32).sqrt());
+                let attn = g.softmax_rows(scaled, Some(&mask));
+                let out = g.matmul(attn, v[2]);
+                let out = g.tanh(out);
+                g.sum_all(out)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_stack_softmax_weighted_sum() {
+        // The α-weighted neighbour aggregation pattern of Eq. (8).
+        let inputs = rand_inputs(&[vec![1], vec![1], vec![3, 2], vec![3, 2]], 11);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let logits = g.stack_scalars(&[v[0], v[1]]);
+                let alphas = g.softmax_vec(logits);
+                let a0 = g.index_vec(alphas, 0);
+                let a1 = g.index_vec(alphas, 1);
+                let w0 = g.mul_scalar(v[2], a0);
+                let w1 = g.mul_scalar(v[3], a1);
+                let agg = g.add(w0, w1);
+                let agg = g.tanh(agg);
+                g.sum_all(agg)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_slice_and_mean_rows() {
+        let inputs = rand_inputs(&[vec![6, 3]], 12);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let s = g.slice_rows(v[0], 2, 5);
+                let m = g.mean_rows(s);
+                let m = g.sigmoid(m);
+                g.sum_all(m)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let inputs = rand_inputs(&[vec![3, 4], vec![4], vec![4]], 21);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let y = g.layer_norm(v[0], v[1], v[2], 1e-5);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            &inputs,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn layer_norm_rows_are_standardised() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let gamma = g.constant(Tensor::ones(vec![4]));
+        let beta = g.constant(Tensor::zeros(vec![4]));
+        let y = g.layer_norm(x, gamma, beta, 1e-6);
+        for r in 0..2 {
+            let row = g.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn grad_mse() {
+        let inputs = rand_inputs(&[vec![1, 4]], 13);
+        let target = Tensor::from_vec(vec![1, 4], vec![0.3, -0.1, 0.8, 0.0]);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                g.mse(v[0], &target)
+            },
+            &inputs,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_fanout_accumulates() {
+        // One leaf feeding two consumers must receive both contributions:
+        // d/dx sum(x*x + x) = 2x + 1.
+        let x = Tensor::from_vec(vec![2], vec![1.5, -0.5]);
+        let mut g = Graph::new();
+        let v = g.bind_param(0, x.clone());
+        let sq = g.mul(v, v);
+        let s = g.add(sq, v);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let grad = g.grad(v).unwrap();
+        assert!((grad.data()[0] - 4.0).abs() < 1e-5);
+        assert!((grad.data()[1] - 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_grads_only_reports_reached_leaves() {
+        let mut g = Graph::new();
+        let a = g.bind_param(0, Tensor::scalar(1.0));
+        let _unused = g.bind_param(1, Tensor::scalar(2.0));
+        let loss = g.sum_all(a);
+        g.backward(loss);
+        let keys: Vec<usize> = g.param_grads().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0]);
+    }
+
+    #[test]
+    fn mul_scalar_broadcast() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]));
+        let s = g.constant(Tensor::scalar(0.5));
+        let y = g.mul_scalar(x, s);
+        assert_eq!(g.value(y).data(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn sum_vars_matches_fold() {
+        let mut g = Graph::new();
+        let xs: Vec<VarId> = (0..4)
+            .map(|i| g.constant(Tensor::full(vec![2], i as f32)))
+            .collect();
+        let s = g.sum_vars(&xs);
+        assert_eq!(g.value(s).data(), &[6.0, 6.0]);
+    }
+}

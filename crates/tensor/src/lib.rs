@@ -1,0 +1,33 @@
+//! # gaia-tensor
+//!
+//! Dense `f32` tensors, small dense linear algebra and tape-based
+//! reverse-mode automatic differentiation.
+//!
+//! This crate is the computational substrate of the Gaia reproduction — it
+//! plays the role Keras/AGL play in the paper. Everything above it
+//! (`gaia-nn`, `gaia-core`, the baselines) expresses forward passes through
+//! [`autodiff::Graph`] and receives exact gradients.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gaia_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let w = g.bind_param(0, Tensor::from_vec(vec![2, 1], vec![0.5, -0.25]));
+//! let x = g.constant(Tensor::from_vec(vec![1, 2], vec![2.0, 4.0]));
+//! let y = g.matmul(x, w);             // [1,1] = 2*0.5 + 4*(-0.25) = 0
+//! let loss = g.mse(y, &Tensor::from_vec(vec![1, 1], vec![1.0]));
+//! g.backward(loss);
+//! let (key, grad) = g.param_grads().next().unwrap();
+//! assert_eq!(key, 0);
+//! assert_eq!(grad.shape(), &[2, 1]);
+//! ```
+
+pub mod autodiff;
+pub mod linalg;
+pub mod tensor;
+
+pub use autodiff::{Graph, VarId};
+pub use linalg::{cholesky, lstsq, solve, solve_tensor, LinalgError};
+pub use tensor::{conv1d, conv1d_backward, gauss, softmax_in_place, PadMode, Tensor};

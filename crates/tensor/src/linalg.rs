@@ -1,0 +1,246 @@
+//! Small dense linear-algebra routines backing the classical time-series
+//! substrate (Yule-Walker / Hannan-Rissanen regressions in `gaia-timeseries`).
+//!
+//! Systems here are tiny (ARIMA orders ≤ 4), so straightforward `f64`
+//! elimination with partial pivoting is both accurate enough and fast.
+
+use crate::tensor::Tensor;
+
+/// Error type for linear-algebra failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so) at the given pivot.
+    Singular { pivot: usize },
+    /// Input dimensions are inconsistent.
+    Dimension(String),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
+            LinalgError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solve `A x = b` for square `A` (row-major, `n x n`) via Gaussian
+/// elimination with partial pivoting. `a` and `b` are consumed as working
+/// copies in `f64` for stability.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != n * n {
+        return Err(LinalgError::Dimension(format!("A has {} entries, want {}", a.len(), n * n)));
+    }
+    if b.len() != n {
+        return Err(LinalgError::Dimension(format!("b has {} entries, want {}", b.len(), n)));
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/below the diagonal.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(LinalgError::Singular { pivot: col });
+        }
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in (col + 1)..n {
+            let factor = m[r * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[r * n + c] -= factor * m[col * n + c];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for c in (row + 1)..n {
+            acc -= m[row * n + c] * x[c];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: minimise `||X beta - y||^2` for `X: [rows, cols]`.
+///
+/// Solved through the normal equations with a small ridge term (`1e-8`) so
+/// mildly collinear regressors (common for short GMV series) stay solvable.
+pub fn lstsq(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Result<Vec<f64>, LinalgError> {
+    if x.len() != rows * cols {
+        return Err(LinalgError::Dimension(format!("X has {} entries, want {}", x.len(), rows * cols)));
+    }
+    if y.len() != rows {
+        return Err(LinalgError::Dimension(format!("y has {} entries, want {}", y.len(), rows)));
+    }
+    if rows < cols {
+        return Err(LinalgError::Dimension(format!("underdetermined system: {rows} rows < {cols} cols")));
+    }
+    // Form X^T X and X^T y.
+    let mut xtx = vec![0.0f64; cols * cols];
+    let mut xty = vec![0.0f64; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        xtx[i * cols + i] += 1e-8;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+/// Cholesky decomposition `A = L L^T` for a symmetric positive-definite
+/// matrix, returning the lower-triangular factor row-major.
+pub fn cholesky(a: &[f64], n: usize) -> Result<Vec<f64>, LinalgError> {
+    if a.len() != n * n {
+        return Err(LinalgError::Dimension(format!("A has {} entries, want {}", a.len(), n * n)));
+    }
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::Singular { pivot: i });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Convenience wrapper solving a square `f32` [`Tensor`] system.
+pub fn solve_tensor(a: &Tensor, b: &Tensor) -> Result<Vec<f32>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::Dimension(format!("A is {:?}, expected square", a.shape())));
+    }
+    let af: Vec<f64> = a.data().iter().map(|&v| v as f64).collect();
+    let bf: Vec<f64> = b.data().iter().map(|&v| v as f64).collect();
+    Ok(solve(&af, &bf, n)?.into_iter().map(|v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 3.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_is_error() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(matches!(solve(&a, &b, 2), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_dimension_errors() {
+        assert!(matches!(solve(&[1.0; 3], &[1.0; 2], 2), Err(LinalgError::Dimension(_))));
+        assert!(matches!(solve(&[1.0; 4], &[1.0; 3], 2), Err(LinalgError::Dimension(_))));
+    }
+
+    #[test]
+    fn lstsq_recovers_line() {
+        // y = 2 + 3t plus no noise; X = [1, t].
+        let rows = 10;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..rows {
+            x.push(1.0);
+            x.push(t as f64);
+            y.push(2.0 + 3.0 * t as f64);
+        }
+        let beta = lstsq(&x, &y, rows, 2).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-5);
+        assert!((beta[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lstsq_underdetermined_is_error() {
+        assert!(lstsq(&[1.0, 2.0], &[1.0], 1, 2).is_err());
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // A = M M^T is SPD for a full-rank M.
+        let m = [2.0, 0.0, 1.0, 3.0];
+        let mut a = [0.0f64; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    a[i * 2 + j] += m[i * 2 + k] * m[j * 2 + k];
+                }
+            }
+        }
+        let l = cholesky(&a, 2).unwrap();
+        let mut rec = [0.0f64; 4];
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    rec[i * 2 + j] += l[i * 2 + k] * l[j * 2 + k];
+                }
+            }
+        }
+        for (x, y) in rec.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3 and -1
+        assert!(cholesky(&a, 2).is_err());
+    }
+}

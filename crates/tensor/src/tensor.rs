@@ -1,0 +1,625 @@
+//! Dense, row-major `f32` tensor used throughout the Gaia reproduction.
+//!
+//! The workloads in the paper are small-and-many (per-shop `[T, C]` temporal
+//! representations with `T ≈ 24`, `C ≈ 32`), so a simple contiguous `Vec<f32>`
+//! with shape metadata is both sufficient and cache-friendly. All shape
+//! violations are programmer errors and panic with a descriptive message.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// Rank 1, 2 and 3 tensors are used: vectors (`[n]`), matrices (`[rows, cols]`)
+/// and convolution kernels (`[k, c_in, c_out]`).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:?}, ...]", &self.data[..8])
+        }
+    }
+}
+
+impl Tensor {
+    /// Create a tensor from a shape and a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "Tensor::from_vec: shape {:?} wants {} elements, got {}",
+            shape,
+            n,
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// All-ones tensor of the given shape.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Constant-filled tensor of the given shape.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape, data: vec![value; n] }
+    }
+
+    /// A 1-element tensor (used for scalar loss values and attention logits).
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![1], data: vec![value] }
+    }
+
+    /// Standard-normal initialised tensor scaled by `std`.
+    pub fn randn<R: Rng>(shape: Vec<usize>, std: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| gauss(rng) * std).collect();
+        Self { shape, data }
+    }
+
+    /// Uniform `[-limit, limit)` initialised tensor.
+    pub fn rand_uniform<R: Rng>(shape: Vec<usize>, limit: f32, rng: &mut R) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
+        Self { shape, data }
+    }
+
+    /// Tensor shape as a slice.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank 2.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows(): tensor is rank {}", self.shape.len());
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols(): tensor is rank {}", self.shape.len());
+        self.shape[1]
+    }
+
+    /// Immutable flat view of the buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning the flat buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access for rank-2 tensors.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element access for rank-2 tensors.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Element access for rank-3 tensors.
+    #[inline]
+    pub fn at3(&self, a: usize, b: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(a * self.shape[1] + b) * self.shape[2] + c]
+    }
+
+    /// Mutable element access for rank-3 tensors.
+    #[inline]
+    pub fn at3_mut(&mut self, a: usize, b: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        &mut self.data[(a * self.shape[1] + b) * self.shape[2] + c]
+    }
+
+    /// View a row of a rank-2 tensor.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.shape[1];
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Reinterpret the buffer with a new shape of equal element count.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshaped: {:?} -> {:?} size mismatch", self.shape, shape);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Apply `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Combine two same-shaped tensors elementwise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map: shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += alpha * other` elementwise.
+    pub fn add_assign_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape, other.shape, "add_assign_scaled: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute entry (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Matrix product `self[m,k] @ other[k,n] -> [m,n]`.
+    ///
+    /// Inner loop is ordered `i-k-j` so the innermost traversal is sequential
+    /// over both the output row and the right-hand row, which lets LLVM
+    /// vectorise it without an explicit blocked kernel.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dims differ {:?} x {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose: rank {} tensor", self.shape.len());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Concatenate rank-2 tensors with equal row counts along the column axis.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let rows = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), rows, "concat_cols: row mismatch");
+        }
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for p in parts {
+                out.extend_from_slice(p.row(r));
+            }
+        }
+        Tensor { shape: vec![rows, total], data: out }
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = self.data.clone();
+        for i in 0..m {
+            let row = &mut out[i * n..(i + 1) * n];
+            softmax_in_place(row);
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// True if every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// In-place numerically stable softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // A fully-masked row: fall back to uniform so downstream stays finite.
+        let u = 1.0 / row.len() as f32;
+        for x in row.iter_mut() {
+            *x = u;
+        }
+        return;
+    }
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Single standard-normal sample via Box-Muller (keeps `rand` usage to the
+/// uniform primitive so the generator version does not matter).
+pub fn gauss<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Padding behaviour for 1-D convolution along the time axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PadMode {
+    /// Zero padding split around the window so the output has the same length
+    /// (the paper's "zeros padding" for the TEL kernel group).
+    Same,
+    /// Zero padding entirely on the left so position `t` only sees `<= t`
+    /// (used by LogTrans-style causal convolutions and the CAU projections).
+    Causal,
+}
+
+/// 1-D convolution over the time axis of `x: [T, c_in]` with kernel
+/// `w: [k, c_in, c_out]` and bias `b: [c_out]`, producing `[T, c_out]`.
+pub fn conv1d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, pad: PadMode) -> Tensor {
+    assert_eq!(x.shape().len(), 2, "conv1d: x must be [T, c_in]");
+    assert_eq!(w.shape().len(), 3, "conv1d: w must be [k, c_in, c_out]");
+    let (t_len, c_in) = (x.shape()[0], x.shape()[1]);
+    let (k, wc_in, c_out) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(c_in, wc_in, "conv1d: channel mismatch x {:?} w {:?}", x.shape(), w.shape());
+    if let Some(bias) = b {
+        assert_eq!(bias.len(), c_out, "conv1d: bias length {} != c_out {}", bias.len(), c_out);
+    }
+    let left = match pad {
+        PadMode::Same => (k - 1) / 2,
+        PadMode::Causal => k - 1,
+    };
+    let mut out = Tensor::zeros(vec![t_len, c_out]);
+    for t in 0..t_len {
+        for dk in 0..k {
+            // Input time index contributing through kernel tap dk.
+            let src = t as isize + dk as isize - left as isize;
+            if src < 0 || src >= t_len as isize {
+                continue;
+            }
+            let src = src as usize;
+            for i in 0..c_in {
+                let xv = x.at(src, i);
+                if xv == 0.0 {
+                    continue;
+                }
+                for o in 0..c_out {
+                    *out.at_mut(t, o) += xv * w.at3(dk, i, o);
+                }
+            }
+        }
+        if let Some(bias) = b {
+            for o in 0..c_out {
+                *out.at_mut(t, o) += bias.data()[o];
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of [`conv1d`] with respect to input, kernel and bias.
+///
+/// Returns `(dx, dw, db)` for upstream gradient `gout: [T, c_out]`.
+pub fn conv1d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    gout: &Tensor,
+    pad: PadMode,
+) -> (Tensor, Tensor, Tensor) {
+    let (t_len, c_in) = (x.shape()[0], x.shape()[1]);
+    let (k, _, c_out) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(gout.shape(), &[t_len, c_out], "conv1d_backward: bad upstream shape");
+    let left = match pad {
+        PadMode::Same => (k - 1) / 2,
+        PadMode::Causal => k - 1,
+    };
+    let mut dx = Tensor::zeros(vec![t_len, c_in]);
+    let mut dw = Tensor::zeros(vec![k, c_in, c_out]);
+    let mut db = Tensor::zeros(vec![c_out]);
+    for t in 0..t_len {
+        for o in 0..c_out {
+            let g = gout.at(t, o);
+            if g == 0.0 {
+                continue;
+            }
+            db.data_mut()[o] += g;
+            for dk in 0..k {
+                let src = t as isize + dk as isize - left as isize;
+                if src < 0 || src >= t_len as isize {
+                    continue;
+                }
+                let src = src as usize;
+                for i in 0..c_in {
+                    *dx.at_mut(src, i) += g * w.at3(dk, i, o);
+                    *dw.at3_mut(dk, i, o) += g * x.at(src, i);
+                }
+            }
+        }
+    }
+    (dx, dw, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(vec![4, 4], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(vec![4, 4]);
+        for i in 0..4 {
+            *eye.at_mut(i, i) = 1.0;
+        }
+        let b = a.matmul(&eye);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn(vec![3, 5], 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn concat_cols_shapes() {
+        let a = Tensor::from_vec(vec![2, 1], vec![1., 2.]);
+        let b = Tensor::from_vec(vec![2, 2], vec![3., 4., 5., 6.]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1., 3., 4., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Softmax is monotone in the logits.
+        assert!(s.at(0, 2) > s.at(0, 1) && s.at(0, 1) > s.at(0, 0));
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_in_place(&mut row);
+        for x in row {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv1d_same_identity_kernel() {
+        // k=1 kernel that copies channel 0 to the single output channel.
+        let x = Tensor::from_vec(vec![4, 2], vec![1., 10., 2., 20., 3., 30., 4., 40.]);
+        let mut w = Tensor::zeros(vec![1, 2, 1]);
+        *w.at3_mut(0, 0, 0) = 1.0;
+        let y = conv1d(&x, &w, None, PadMode::Same);
+        assert_eq!(y.shape(), &[4, 1]);
+        assert_eq!(y.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn conv1d_causal_does_not_see_future() {
+        // Kernel of width 3 summing a single channel. Causal padding means
+        // output at t=0 only sees x[0].
+        let x = Tensor::from_vec(vec![4, 1], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec(vec![3, 1, 1], vec![1., 1., 1.]);
+        let y = conv1d(&x, &w, None, PadMode::Causal);
+        assert_eq!(y.data(), &[1., 3., 6., 9.]);
+    }
+
+    #[test]
+    fn conv1d_same_window_centering() {
+        let x = Tensor::from_vec(vec![4, 1], vec![1., 2., 3., 4.]);
+        let w = Tensor::from_vec(vec![3, 1, 1], vec![1., 1., 1.]);
+        let y = conv1d(&x, &w, None, PadMode::Same);
+        // left pad = 1: y[t] = x[t-1] + x[t] + x[t+1] (zeros outside).
+        assert_eq!(y.data(), &[3., 6., 9., 7.]);
+    }
+
+    #[test]
+    fn conv1d_bias_applied() {
+        let x = Tensor::zeros(vec![3, 1]);
+        let w = Tensor::zeros(vec![1, 1, 2]);
+        let b = Tensor::from_vec(vec![2], vec![0.5, -0.5]);
+        let y = conv1d(&x, &w, Some(&b), PadMode::Same);
+        assert_eq!(y.data(), &[0.5, -0.5, 0.5, -0.5, 0.5, -0.5]);
+    }
+
+    #[test]
+    fn conv1d_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(vec![5, 2], 1.0, &mut rng);
+        let w = Tensor::randn(vec![3, 2, 2], 0.5, &mut rng);
+        let b = Tensor::randn(vec![2], 0.5, &mut rng);
+        for pad in [PadMode::Same, PadMode::Causal] {
+            // Loss = sum(conv(x)) so upstream gradient is all-ones.
+            let gout = Tensor::ones(vec![5, 2]);
+            let (dx, dw, db) = conv1d_backward(&x, &w, &gout, pad);
+            let eps = 1e-2;
+            let f = |x: &Tensor, w: &Tensor, b: &Tensor| conv1d(x, w, Some(b), pad).sum();
+            for idx in 0..x.len() {
+                let mut xp = x.clone();
+                xp.data_mut()[idx] += eps;
+                let mut xm = x.clone();
+                xm.data_mut()[idx] -= eps;
+                let num = (f(&xp, &w, &b) - f(&xm, &w, &b)) / (2.0 * eps);
+                assert!((num - dx.data()[idx]).abs() < 1e-2, "dx[{idx}] {num} vs {}", dx.data()[idx]);
+            }
+            for idx in 0..w.len() {
+                let mut wp = w.clone();
+                wp.data_mut()[idx] += eps;
+                let mut wm = w.clone();
+                wm.data_mut()[idx] -= eps;
+                let num = (f(&x, &wp, &b) - f(&x, &wm, &b)) / (2.0 * eps);
+                assert!((num - dw.data()[idx]).abs() < 1e-2, "dw[{idx}]");
+            }
+            for idx in 0..b.len() {
+                let mut bp = b.clone();
+                bp.data_mut()[idx] += eps;
+                let mut bm = b.clone();
+                bm.data_mut()[idx] -= eps;
+                let num = (f(&x, &w, &bp) - f(&x, &w, &bm)) / (2.0 * eps);
+                assert!((num - db.data()[idx]).abs() < 1e-2, "db[{idx}]");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,14 @@
+//! # gaia-timeseries
+//!
+//! Classical time-series substrate: ACF/PACF/cross-correlation statistics,
+//! the ARIMA(p, d, q) family (the Table I "time series analysis" baseline,
+//! fitted by Hannan-Rissanen with AIC order selection up to the paper's
+//! max(p) = max(q) = 2), and naive baselines for sanity checks.
+
+pub mod arima;
+pub mod naive;
+pub mod stats;
+
+pub use arima::{auto_arima, difference, undifference, ArimaModel, ArimaOrder, TsError};
+pub use naive::{drift, persistence, seasonal_naive};
+pub use stats::{acf, autocovariance, cross_correlation, mean, pacf, pearson, variance};

@@ -1,0 +1,59 @@
+//! Naive forecasting baselines used for sanity checks and as fallbacks:
+//! last-value persistence, drift, and seasonal-naive.
+
+/// Repeat the last observed value.
+pub fn persistence(series: &[f64], horizon: usize) -> Vec<f64> {
+    let last = series.last().copied().unwrap_or(0.0);
+    vec![last; horizon]
+}
+
+/// Extend the average first difference (the "drift" method).
+pub fn drift(series: &[f64], horizon: usize) -> Vec<f64> {
+    if series.len() < 2 {
+        return persistence(series, horizon);
+    }
+    let slope = (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64;
+    let last = series[series.len() - 1];
+    (1..=horizon).map(|h| last + slope * h as f64).collect()
+}
+
+/// Repeat the value from one season ago (period `s`); falls back to
+/// persistence when the series is shorter than a season.
+pub fn seasonal_naive(series: &[f64], horizon: usize, s: usize) -> Vec<f64> {
+    if series.len() < s || s == 0 {
+        return persistence(series, horizon);
+    }
+    (0..horizon)
+        .map(|h| series[series.len() - s + (h % s)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_repeats_last() {
+        assert_eq!(persistence(&[1.0, 5.0], 3), vec![5.0, 5.0, 5.0]);
+        assert_eq!(persistence(&[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn drift_extends_slope() {
+        let f = drift(&[0.0, 1.0, 2.0, 3.0], 2);
+        assert!((f[0] - 4.0).abs() < 1e-12);
+        assert!((f[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_season() {
+        let s: Vec<f64> = (0..24).map(|t| (t % 12) as f64).collect();
+        let f = seasonal_naive(&s, 3, 12);
+        assert_eq!(f, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_short_series_falls_back() {
+        assert_eq!(seasonal_naive(&[7.0], 2, 12), vec![7.0, 7.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Sample statistics for time series: autocovariance, ACF, PACF and
+//! cross-correlation. Used by ARIMA order selection, the supply-chain mining
+//! path and the Fig 4 case study.
+
+/// Sample mean.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Sample variance (population normalisation, as standard in ACF).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Autocovariance at `lag` with population normalisation by `n`.
+pub fn autocovariance(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let m = mean(x);
+    let mut acc = 0.0;
+    for t in 0..n - lag {
+        acc += (x[t] - m) * (x[t + lag] - m);
+    }
+    acc / n as f64
+}
+
+/// Autocorrelation function for lags `0..=max_lag`.
+pub fn acf(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let c0 = autocovariance(x, 0);
+    if c0 <= 1e-12 {
+        return vec![0.0; max_lag + 1];
+    }
+    (0..=max_lag).map(|k| autocovariance(x, k) / c0).collect()
+}
+
+/// Partial autocorrelation via Durbin-Levinson recursion, lags `1..=max_lag`.
+pub fn pacf(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let rho = acf(x, max_lag);
+    let mut pacf_out = Vec::with_capacity(max_lag);
+    let mut phi_prev: Vec<f64> = Vec::new();
+    for k in 1..=max_lag {
+        let phi_kk = if k == 1 {
+            rho[1]
+        } else {
+            let num = rho[k]
+                - phi_prev
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| p * rho[k - 1 - j])
+                    .sum::<f64>();
+            let den = 1.0
+                - phi_prev
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| p * rho[j + 1])
+                    .sum::<f64>();
+            if den.abs() < 1e-12 {
+                0.0
+            } else {
+                num / den
+            }
+        };
+        let mut phi_new = vec![0.0; k];
+        phi_new[k - 1] = phi_kk;
+        for j in 0..k - 1 {
+            phi_new[j] = phi_prev[j] - phi_kk * phi_prev[k - 2 - j];
+        }
+        pacf_out.push(phi_kk);
+        phi_prev = phi_new;
+    }
+    pacf_out
+}
+
+/// Normalised cross-correlation of `a[t]` with `b[t + lag]` (positive `lag`
+/// means `a` leads `b`). Defined for `lag < len - 1`, else 0.
+pub fn cross_correlation(a: &[f64], b: &[f64], lag: usize) -> f64 {
+    if a.len() != b.len() || a.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = a.len() - lag;
+    let xs = &a[..n];
+    let ys = &b[lag..];
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        cov += (xs[i] - mx) * (ys[i] - my);
+        vx += (xs[i] - mx) * (xs[i] - mx);
+        vy += (ys[i] - my) * (ys[i] - my);
+    }
+    if vx <= 1e-12 || vy <= 1e-12 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Correlation of two equal-length samples (used for the Fig 4(a)
+/// attention-vs-correlation scatter summary).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    cross_correlation(a, b, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let a = acf(&x, 5);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_periodic_peaks_at_period() {
+        let x: Vec<f64> = (0..120).map(|i| (std::f64::consts::TAU * i as f64 / 12.0).sin()).collect();
+        let a = acf(&x, 13);
+        assert!(a[12] > 0.8, "annual peak {}", a[12]);
+        assert!(a[6] < -0.5, "half-period trough {}", a[6]);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off() {
+        // AR(1) with phi = 0.7: PACF lag 1 ~ 0.7, lag 2 ~ 0.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut x = vec![0.0f64; 2000];
+        let mut state = 0.5f64;
+        for slot in x.iter_mut() {
+            let e: f64 = rng.gen_range(-0.5..0.5);
+            state = 0.7 * state + e;
+            *slot = state;
+        }
+        let p = pacf(&x, 4);
+        assert!((p[0] - 0.7).abs() < 0.1, "pacf1 {}", p[0]);
+        assert!(p[1].abs() < 0.15, "pacf2 {}", p[1]);
+    }
+
+    #[test]
+    fn cross_correlation_lead_detection() {
+        let base: Vec<f64> = (0..40).map(|i| (i as f64 * 0.5).sin()).collect();
+        let a: Vec<f64> = base[2..34].to_vec(); // leads by 2
+        let b: Vec<f64> = base[..32].to_vec();
+        assert!(cross_correlation(&a, &b, 2) > 0.99);
+        assert!(cross_correlation(&a, &b, 2) > cross_correlation(&a, &b, 0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(acf(&[1.0; 10], 3), vec![0.0; 4]);
+        assert_eq!(cross_correlation(&[1.0, 2.0], &[1.0, 2.0], 5), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Ablation tour: build the four Table II variants of Gaia (full, w/o ITA,
+//! w/o FFL, w/o TEL), train each briefly on the same world and compare —
+//! a miniature of the `table2_ablation` harness that also prints what each
+//! variant structurally removes.
+//!
+//! Run with `cargo run --release --example ablation_tour`.
+
+use gaia_core::trainer::{evaluate_loss, train, TrainConfig};
+use gaia_core::{Gaia, GaiaConfig, GaiaVariant};
+use gaia_synth::{generate_dataset, WorldConfig};
+
+fn main() {
+    let (world, ds) = generate_dataset(WorldConfig { n_shops: 250, ..WorldConfig::default() });
+    let tc = TrainConfig { epochs: 4, verbose: false, ..TrainConfig::default() };
+
+    let variants = [
+        (GaiaVariant::Full, "full model: FFL + TEL kernel group + CAU-based ITA"),
+        (GaiaVariant::NoIta, "CAU replaced by traditional self-attention (no conv locality, no mask)"),
+        (GaiaVariant::NoFfl, "fine-grained fusion replaced by one coarse projection"),
+        (GaiaVariant::NoTel, "kernel group {2,4,8,16} replaced by a single {4xC;C} kernel"),
+    ];
+
+    println!("{:<10} {:>10} {:>12} {:>12}  structure", "variant", "params", "train MSE", "val MSE");
+    for (variant, what) in variants {
+        let cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s).with_variant(variant);
+        let mut model = Gaia::new(cfg, 33);
+        let report = train(&mut model, &ds, &world.graph, &tc);
+        let val = evaluate_loss(&model, &ds, &world.graph, &ds.splits.val, 1, 4);
+        println!(
+            "{:<10} {:>10} {:>12.5} {:>12.5}  {}",
+            variant.label(),
+            model.num_params(),
+            report.train_loss.last().unwrap(),
+            val,
+            what
+        );
+    }
+    println!(
+        "\nExpect the full model to reach the lowest validation MSE — each ablation removes \
+         one of the mechanisms the paper credits (Table II)."
+    );
+}

@@ -1,0 +1,18 @@
+//! # gaia-suite
+//!
+//! Umbrella crate of the Gaia reproduction (ICDE 2022,
+//! arXiv:2207.13329): re-exports every sub-crate and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start from [`gaia_core::Gaia`] and [`gaia_synth::generate_dataset`], or
+//! run `cargo run --release --example quickstart`.
+
+pub use gaia_baselines as baselines;
+pub use gaia_core as core;
+pub use gaia_eval as eval;
+pub use gaia_graph as graph;
+pub use gaia_nn as nn;
+pub use gaia_serving as serving;
+pub use gaia_synth as synth;
+pub use gaia_tensor as tensor;
+pub use gaia_timeseries as timeseries;

@@ -1,0 +1,95 @@
+//! Integration of the Fig 5 pipeline paths: supply-chain relation mining
+//! from order logs, and offline-train → publish → online-predict parity.
+
+use gaia_core::trainer::TrainConfig;
+use gaia_core::GaiaConfig;
+use gaia_graph::{mine_supply_chain, EgoConfig, MiningConfig};
+use gaia_serving::{ModelServer, OfflinePipeline};
+use gaia_synth::{generate_dataset, WorldConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+#[test]
+fn mined_relations_recover_true_supply_links() {
+    let (world, _) = generate_dataset(WorldConfig {
+        n_shops: 250,
+        noise_std: 0.04,
+        ..WorldConfig::default()
+    });
+    let volumes: Vec<Vec<f32>> = world
+        .shops
+        .iter()
+        .map(|s| s.orders.iter().map(|&x| (1.0 + x as f32).ln()).collect())
+        .collect();
+    let candidates = world.mining_candidates(10);
+    let mined =
+        mine_supply_chain(&volumes, &candidates, &MiningConfig { max_lag: 3, threshold: 0.75 });
+    assert!(!mined.is_empty(), "mining found nothing");
+    let truth: HashSet<(u32, u32)> =
+        world.true_supply_links.iter().map(|l| (l.supplier, l.retailer)).collect();
+    let hits = mined.iter().filter(|m| truth.contains(&(m.supplier, m.retailer))).count();
+    let precision = hits as f64 / mined.len() as f64;
+    // In the synthetic world, a linked and an unlinked same-industry pair
+    // carry *identical* market signal by construction (the supplier lead is
+    // industry-wide), so link-level discrimination beyond industry
+    // co-membership is not identifiable from series alone — in the real
+    // system the candidate set comes from payment co-occurrence, which is
+    // what provides that discrimination (see DESIGN.md). The identifiable
+    // structure is the *lead*: mining must not be anti-enriched, and the
+    // detected lags must match the generated supplier leads.
+    let base_hits = candidates.iter().filter(|&&(s, r)| truth.contains(&(s, r))).count();
+    let base_rate = base_hits as f64 / candidates.len() as f64;
+    assert!(
+        precision >= 0.9 * base_rate,
+        "mining anti-enriched: precision {precision:.3} vs base rate {base_rate:.3} \
+         ({hits}/{} mined, {base_hits}/{} candidates)",
+        mined.len(),
+        candidates.len()
+    );
+    // The detected lags of true hits should match the generated leads most
+    // of the time.
+    let lag_hits = mined
+        .iter()
+        .filter(|m| {
+            world
+                .true_supply_links
+                .iter()
+                .any(|l| l.supplier == m.supplier && l.retailer == m.retailer && l.lead == m.lag)
+        })
+        .count();
+    assert!(lag_hits * 2 >= hits, "lag recovery too weak: {lag_hits}/{hits}");
+}
+
+#[test]
+fn offline_online_prediction_parity() {
+    let (world, ds0) = generate_dataset(WorldConfig { n_shops: 80, ..WorldConfig::tiny() });
+    let mut model_cfg = GaiaConfig::new(ds0.t, ds0.horizon, ds0.d_t, ds0.d_s);
+    model_cfg.channels = 8;
+    model_cfg.kernel_groups = 2;
+    model_cfg.layers = 1;
+    model_cfg.ego = EgoConfig { hops: 1, fanout: 3 };
+    let tc = TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
+    let mut pipeline = OfflinePipeline::new(model_cfg.clone(), tc, 21);
+    let (artifact, ds, _) = pipeline.execute_month(&world);
+
+    // Offline predictions straight from a restored model...
+    let mut offline_model = gaia_core::Gaia::new(model_cfg, 0);
+    offline_model.restore(&artifact.checkpoint).unwrap();
+    let nodes: Vec<usize> = ds.splits.test.iter().take(8).copied().collect();
+    let offline = gaia_core::trainer::predict_nodes(
+        &offline_model,
+        &ds,
+        &world.graph,
+        &nodes,
+        42,
+        2,
+    );
+
+    // ...must match the online server's answers exactly (same artifact, same
+    // ego seed).
+    let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
+    for o in offline {
+        let online = server.predict_one(o.node);
+        assert_eq!(o.model_space, online.model_space, "parity broke for shop {}", o.node);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over the core data structures and numerical
+//! invariants, spanning several crates.
+
+use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
+use gaia_synth::Scaler;
+use gaia_tensor::{conv1d, Graph, PadMode, Tensor};
+use gaia_timeseries::{acf, auto_arima};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// log1p scaling round-trips currency values across 8 orders of
+    /// magnitude.
+    #[test]
+    fn scaler_roundtrip(values in prop::collection::vec(1.0f64..1e8, 4..40), probe in 1.0f64..1e8) {
+        let scaler = Scaler::fit(values.into_iter());
+        let z = scaler.normalize(probe);
+        let back = scaler.denormalize(z);
+        prop_assert!((back - probe).abs() / probe < 1e-2, "{probe} -> {z} -> {back}");
+        // Positive space: non-negative input z always decodes to >= 0.
+        let zp = scaler.normalize_pos(probe);
+        prop_assert!(scaler.denormalize_pos(zp) >= 0.0);
+    }
+
+    /// Monotonicity: both normalisers preserve order.
+    #[test]
+    fn scaler_monotone(values in prop::collection::vec(1.0f64..1e7, 4..20), a in 1.0f64..1e6, b in 1.0f64..1e6) {
+        let scaler = Scaler::fit(values.into_iter());
+        if a < b {
+            prop_assert!(scaler.normalize(a) <= scaler.normalize(b));
+            prop_assert!(scaler.normalize_pos(a) <= scaler.normalize_pos(b));
+        }
+    }
+
+    /// Softmax rows are probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(vec![rows, cols], 3.0, &mut rng);
+        let s = t.softmax_rows();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// conv1d preserves the time length for both padding modes and any
+    /// kernel width up to the window.
+    #[test]
+    fn conv1d_shape_invariant(t_len in 2usize..20, c_in in 1usize..4, c_out in 1usize..4, k in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![t_len, c_in], 1.0, &mut rng);
+        let w = Tensor::randn(vec![k, c_in, c_out], 1.0, &mut rng);
+        for pad in [PadMode::Same, PadMode::Causal] {
+            let y = conv1d(&x, &w, None, pad);
+            prop_assert_eq!(y.shape(), &[t_len, c_out]);
+            prop_assert!(y.all_finite());
+        }
+    }
+
+    /// Causal conv output at position 0 never depends on later inputs.
+    #[test]
+    fn causal_conv_no_future_leak(t_len in 3usize..16, k in 1usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![t_len, 2], 1.0, &mut rng);
+        let w = Tensor::randn(vec![k, 2, 2], 1.0, &mut rng);
+        let y0 = conv1d(&x, &w, None, PadMode::Causal);
+        let mut x2 = x.clone();
+        for t in 1..t_len {
+            for c in 0..2 {
+                *x2.at_mut(t, c) += 10.0;
+            }
+        }
+        let y1 = conv1d(&x2, &w, None, PadMode::Causal);
+        for c in 0..2 {
+            prop_assert!((y0.at(0, c) - y1.at(0, c)).abs() < 1e-5);
+        }
+    }
+
+    /// Matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributive(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let c = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Autodiff linearity: grad of sum(a*x) w.r.t. x is a.
+    #[test]
+    fn autodiff_linear_grad(n in 1usize..8, alpha in -3.0f32..3.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(vec![n], 1.0, &mut rng);
+        let mut g = Graph::new();
+        let xv = g.bind_param(0, x);
+        let s = g.scale(xv, alpha);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        let grad = g.grad(xv).unwrap();
+        for &gv in grad.data() {
+            prop_assert!((gv - alpha).abs() < 1e-5);
+        }
+    }
+
+    /// Ego subgraphs: the centre is local 0 at hop 0, hops are within
+    /// bounds, adjacency is internally consistent and fanout-bounded growth
+    /// holds.
+    #[test]
+    fn ego_subgraph_invariants(
+        n in 2usize..40,
+        edge_seeds in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+        center in 0usize..40,
+        hops in 1usize..3,
+        fanout in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let edges: Vec<Edge> = edge_seeds
+            .iter()
+            .map(|&(a, b)| Edge { src: (a % n) as u32, dst: (b % n) as u32, ty: EdgeType::SameOwner })
+            .collect();
+        let graph = EsellerGraph::from_edges(n, &edges);
+        let center = center % n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ego = extract_ego(&graph, center, &EgoConfig { hops, fanout }, &mut rng);
+        prop_assert_eq!(ego.center() as usize, center);
+        prop_assert_eq!(ego.hops[0], 0);
+        for (i, &h) in ego.hops.iter().enumerate() {
+            prop_assert!((h as usize) <= hops, "node {i} at hop {h}");
+        }
+        // Local adjacency symmetric and in-range.
+        for (u, nbs) in ego.adj.iter().enumerate() {
+            for nb in nbs {
+                prop_assert!((nb.local as usize) < ego.len());
+                prop_assert!(ego.adj[nb.local as usize].iter().any(|r| r.local as usize == u));
+            }
+        }
+        // No duplicate nodes.
+        let mut sorted = ego.nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ego.nodes.len());
+    }
+
+    /// auto_arima never panics and always emits finite forecasts, whatever
+    /// the series (including constants and short series).
+    #[test]
+    fn arima_total_on_arbitrary_series(series in prop::collection::vec(-100.0f64..100.0, 0..40)) {
+        let model = auto_arima(&series, 2, 2, 1);
+        let f = model.forecast(3);
+        prop_assert_eq!(f.len(), 3);
+        prop_assert!(f.iter().all(|x| x.is_finite()), "{:?}", f);
+    }
+
+    /// ACF is bounded in [-1, 1] and acf[0] == 1 for non-degenerate series.
+    #[test]
+    fn acf_bounds(series in prop::collection::vec(-50.0f64..50.0, 8..60)) {
+        let a = acf(&series, 6);
+        if a[0] != 0.0 {
+            prop_assert!((a[0] - 1.0).abs() < 1e-9);
+            for &v in &a {
+                prop_assert!(v.abs() <= 1.0 + 1e-6, "acf out of range: {v}");
+            }
+        }
+    }
+}
