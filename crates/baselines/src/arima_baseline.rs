@@ -37,8 +37,7 @@ pub fn arima_forecasts(
         .map(|&v| {
             let shop = &world.shops[v];
             let start = in_start.max(shop.opened);
-            let series: Vec<f64> =
-                (start..fut_start).map(|m| (1.0 + shop.gmv[m]).ln()).collect();
+            let series: Vec<f64> = (start..fut_start).map(|m| (1.0 + shop.gmv[m]).ln()).collect();
             let model = auto_arima(&series, cfg.max_p, cfg.max_q, cfg.d);
             // Sanity cap: an integrated ARIMA can drift exponentially on a
             // short trending series; cap the log-forecast at one extra
@@ -48,9 +47,7 @@ pub fn arima_forecasts(
             model
                 .forecast(ds.horizon)
                 .into_iter()
-                .map(|logv| {
-                    (logv.clamp(hist_min - 1.0, hist_max + 1.0).exp() - 1.0).max(0.0)
-                })
+                .map(|logv| (logv.clamp(hist_min - 1.0, hist_max + 1.0).exp() - 1.0).max(0.0))
                 .collect()
         })
         .collect()

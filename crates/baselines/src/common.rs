@@ -30,7 +30,8 @@ impl TemporalHead {
         Self {
             l_p: Conv1d::new(ps, &format!("{name}.lp"), 1, c, 1, PadMode::Causal, true, rng),
             w_p: ps.add(format!("{name}.wp"), init::xavier(t, horizon, rng)),
-            b_p: ps.add(format!("{name}.bp"), Tensor::full(vec![horizon], gaia_synth::TARGET_SHIFT)),
+            b_p: ps
+                .add(format!("{name}.bp"), Tensor::full(vec![horizon], gaia_synth::TARGET_SHIFT)),
         }
     }
 
@@ -188,8 +189,7 @@ mod tests {
     #[test]
     fn neighbor_mean_isolated_returns_self() {
         let graph = EsellerGraph::from_edges(1, &[]);
-        let ego =
-            extract_ego(&graph, 0, &EgoConfig::default(), &mut StdRng::seed_from_u64(4));
+        let ego = extract_ego(&graph, 0, &EgoConfig::default(), &mut StdRng::seed_from_u64(4));
         let mut g = Graph::new();
         let h = vec![g.constant(Tensor::full(vec![1, 2], 3.0))];
         let m = neighbor_mean(&mut g, &ego, &h, 0, false);

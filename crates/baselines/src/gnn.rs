@@ -76,11 +76,26 @@ impl Gat {
     pub fn new(cfg: GnnConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ps = ParamStore::new();
-        let input = Linear::new(&mut ps, "gat.input", cfg.flat_width(), cfg.channels, true, &mut rng);
+        let input =
+            Linear::new(&mut ps, "gat.input", cfg.flat_width(), cfg.channels, true, &mut rng);
         let layers = (0..cfg.layers)
             .map(|l| GatLayer {
-                w: Linear::new(&mut ps, &format!("gat.l{l}.w"), cfg.channels, cfg.channels, false, &mut rng),
-                attn: Linear::new(&mut ps, &format!("gat.l{l}.a"), 2 * cfg.channels, 1, false, &mut rng),
+                w: Linear::new(
+                    &mut ps,
+                    &format!("gat.l{l}.w"),
+                    cfg.channels,
+                    cfg.channels,
+                    false,
+                    &mut rng,
+                ),
+                attn: Linear::new(
+                    &mut ps,
+                    &format!("gat.l{l}.a"),
+                    2 * cfg.channels,
+                    1,
+                    false,
+                    &mut rng,
+                ),
             })
             .collect();
         let head = FlatHead::new(&mut ps, "gat.head", cfg.channels, cfg.horizon, &mut rng);
@@ -185,7 +200,14 @@ impl GraphSage {
             Linear::new(&mut ps, "sage.input", cfg.flat_width(), cfg.channels, true, &mut rng);
         let layers = (0..cfg.layers)
             .map(|l| {
-                Linear::new(&mut ps, &format!("sage.l{l}"), 2 * cfg.channels, cfg.channels, true, &mut rng)
+                Linear::new(
+                    &mut ps,
+                    &format!("sage.l{l}"),
+                    2 * cfg.channels,
+                    cfg.channels,
+                    true,
+                    &mut rng,
+                )
             })
             .collect();
         let head = FlatHead::new(&mut ps, "sage.head", cfg.channels, cfg.horizon, &mut rng);
@@ -252,8 +274,22 @@ impl GeniePath {
             Linear::new(&mut ps, "genie.input", cfg.flat_width(), cfg.channels, true, &mut rng);
         let breadth = (0..cfg.layers)
             .map(|l| GatLayer {
-                w: Linear::new(&mut ps, &format!("genie.b{l}.w"), cfg.channels, cfg.channels, false, &mut rng),
-                attn: Linear::new(&mut ps, &format!("genie.b{l}.a"), 2 * cfg.channels, 1, false, &mut rng),
+                w: Linear::new(
+                    &mut ps,
+                    &format!("genie.b{l}.w"),
+                    cfg.channels,
+                    cfg.channels,
+                    false,
+                    &mut rng,
+                ),
+                attn: Linear::new(
+                    &mut ps,
+                    &format!("genie.b{l}.a"),
+                    2 * cfg.channels,
+                    1,
+                    false,
+                    &mut rng,
+                ),
             })
             .collect();
         let depth = LstmCell::new(&mut ps, "genie.depth", cfg.channels, cfg.channels, &mut rng);
@@ -339,8 +375,7 @@ mod tests {
         let (world, ds, cfg) = setup();
         let model = GraphSage::new(cfg, 3);
         // Find an isolated node if any, else any node.
-        let center =
-            (0..ds.n).find(|&v| world.graph.degree(v) == 0).unwrap_or(0);
+        let center = (0..ds.n).find(|&v| world.graph.degree(v) == 0).unwrap_or(0);
         let mut rng = StdRng::seed_from_u64(4);
         let ego = extract_ego(&world.graph, center, &model.ego_config(), &mut rng);
         let mut g = Graph::new();

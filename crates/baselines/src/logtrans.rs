@@ -131,7 +131,7 @@ pub struct LogTrans {
 impl LogTrans {
     /// Construct with seeded initialisation.
     pub fn new(cfg: LogTransConfig, seed: u64) -> Self {
-        assert!(cfg.channels % cfg.heads == 0, "heads must divide channels");
+        assert!(cfg.channels.is_multiple_of(cfg.heads), "heads must divide channels");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ps = ParamStore::new();
         let input_proj =
@@ -139,9 +139,18 @@ impl LogTrans {
         let static_proj =
             Linear::new(&mut ps, "logtrans.static", cfg.d_s, cfg.channels, true, &mut rng);
         let blocks = (0..cfg.blocks)
-            .map(|b| ConvAttnBlock::new(&mut ps, &format!("logtrans.b{b}"), cfg.channels, cfg.heads, &mut rng))
+            .map(|b| {
+                ConvAttnBlock::new(
+                    &mut ps,
+                    &format!("logtrans.b{b}"),
+                    cfg.channels,
+                    cfg.heads,
+                    &mut rng,
+                )
+            })
             .collect();
-        let head = TemporalHead::new(&mut ps, "logtrans.head", cfg.t, cfg.channels, cfg.horizon, &mut rng);
+        let head =
+            TemporalHead::new(&mut ps, "logtrans.head", cfg.t, cfg.channels, cfg.horizon, &mut rng);
         let mask = causal_mask(cfg.t);
         Self { cfg, ps, input_proj, static_proj, blocks, head, mask }
     }

@@ -12,7 +12,9 @@
 use crate::common::{propagate, TemporalHead};
 use gaia_core::api::{inputs, GraphForecaster};
 use gaia_graph::{EgoConfig, EgoSubgraph};
-use gaia_nn::{causal_mask, Conv1d, GluConv, LayerNorm, Linear, MultiHeadSelfAttention, ParamStore};
+use gaia_nn::{
+    causal_mask, Conv1d, GluConv, LayerNorm, Linear, MultiHeadSelfAttention, ParamStore,
+};
 use gaia_synth::Dataset;
 use gaia_tensor::{Graph, PadMode, Tensor, VarId};
 use rand::rngs::StdRng;
@@ -61,7 +63,14 @@ struct InputEncoder {
 impl InputEncoder {
     fn new<R: Rng>(ps: &mut ParamStore, name: &str, cfg: &StgnnConfig, rng: &mut R) -> Self {
         Self {
-            series: Linear::new(ps, &format!("{name}.series"), 1 + cfg.d_t, cfg.channels, true, rng),
+            series: Linear::new(
+                ps,
+                &format!("{name}.series"),
+                1 + cfg.d_t,
+                cfg.channels,
+                true,
+                rng,
+            ),
             statics: Linear::new(ps, &format!("{name}.static"), cfg.d_s, cfg.channels, true, rng),
             t: cfg.t,
         }
@@ -110,9 +119,25 @@ impl Stgcn {
         let c = cfg.channels;
         let blocks = (0..cfg.layers)
             .map(|l| StgcnBlock {
-                temporal_in: GluConv::new(&mut ps, &format!("stgcn.b{l}.tin"), 3, c, c, PadMode::Causal, &mut rng),
+                temporal_in: GluConv::new(
+                    &mut ps,
+                    &format!("stgcn.b{l}.tin"),
+                    3,
+                    c,
+                    c,
+                    PadMode::Causal,
+                    &mut rng,
+                ),
                 graph_w: Linear::new(&mut ps, &format!("stgcn.b{l}.gw"), c, c, true, &mut rng),
-                temporal_out: GluConv::new(&mut ps, &format!("stgcn.b{l}.tout"), 3, c, c, PadMode::Causal, &mut rng),
+                temporal_out: GluConv::new(
+                    &mut ps,
+                    &format!("stgcn.b{l}.tout"),
+                    3,
+                    c,
+                    c,
+                    PadMode::Causal,
+                    &mut rng,
+                ),
             })
             .collect();
         let head = TemporalHead::new(&mut ps, "stgcn.head", cfg.t, c, cfg.horizon, &mut rng);
@@ -206,7 +231,13 @@ impl Gman {
                 s_query: Linear::new(&mut ps, &format!("gman.b{l}.sq"), c, c, false, &mut rng),
                 s_key: Linear::new(&mut ps, &format!("gman.b{l}.sk"), c, c, false, &mut rng),
                 s_value: Linear::new(&mut ps, &format!("gman.b{l}.sv"), c, c, false, &mut rng),
-                temporal: MultiHeadSelfAttention::new(&mut ps, &format!("gman.b{l}.t"), c, 4, &mut rng),
+                temporal: MultiHeadSelfAttention::new(
+                    &mut ps,
+                    &format!("gman.b{l}.t"),
+                    c,
+                    4,
+                    &mut rng,
+                ),
                 gate_s: Linear::new(&mut ps, &format!("gman.b{l}.gs"), c, c, true, &mut rng),
                 gate_t: Linear::new(&mut ps, &format!("gman.b{l}.gt"), c, c, false, &mut rng),
                 norm: LayerNorm::new(&mut ps, &format!("gman.b{l}.ln"), c),
@@ -337,20 +368,38 @@ impl Mtgnn {
         let mut ps = ParamStore::new();
         let encoder = InputEncoder::new(&mut ps, "mtgnn", &cfg, &mut rng);
         let c = cfg.channels;
-        assert!(c % 4 == 0, "MTGNN inception needs channels divisible by 4");
+        assert!(c.is_multiple_of(4), "MTGNN inception needs channels divisible by 4");
         let widths = [2usize, 3, 6, 7];
         let blocks = (0..cfg.layers)
             .map(|l| MtgnnBlock {
                 inception: widths
                     .iter()
                     .map(|&k| {
-                        Conv1d::new(&mut ps, &format!("mtgnn.b{l}.inc{k}"), k, c, c / 4, PadMode::Causal, true, &mut rng)
+                        Conv1d::new(
+                            &mut ps,
+                            &format!("mtgnn.b{l}.inc{k}"),
+                            k,
+                            c,
+                            c / 4,
+                            PadMode::Causal,
+                            true,
+                            &mut rng,
+                        )
                     })
                     .collect(),
                 gate: widths
                     .iter()
                     .map(|&k| {
-                        Conv1d::new(&mut ps, &format!("mtgnn.b{l}.gate{k}"), k, c, c / 4, PadMode::Causal, true, &mut rng)
+                        Conv1d::new(
+                            &mut ps,
+                            &format!("mtgnn.b{l}.gate{k}"),
+                            k,
+                            c,
+                            c / 4,
+                            PadMode::Causal,
+                            true,
+                            &mut rng,
+                        )
                     })
                     .collect(),
                 theta: Linear::new(&mut ps, &format!("mtgnn.b{l}.theta"), c, c, false, &mut rng),
@@ -375,7 +424,8 @@ impl MtgnnBlock {
     ) -> VarId {
         // --- Dilated inception temporal convolution with tanh/sigmoid gate.
         let temporal = |g: &mut Graph, x: VarId| -> VarId {
-            let filt: Vec<VarId> = self.inception.iter().map(|conv| conv.forward(g, ps, x)).collect();
+            let filt: Vec<VarId> =
+                self.inception.iter().map(|conv| conv.forward(g, ps, x)).collect();
             let gate: Vec<VarId> = self.gate.iter().map(|conv| conv.forward(g, ps, x)).collect();
             let f = g.concat_cols(&filt);
             let f = g.tanh(f);

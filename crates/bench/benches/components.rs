@@ -2,14 +2,16 @@
 //! convolutional locality vs traditional attention, the TEL kernel group vs
 //! the single-kernel ablation, and fine vs coarse feature fusion.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
-use gaia_core::{ConvolutionalAttentionUnit, FeatureFusionLayer, GaiaConfig, GaiaVariant, TemporalEmbeddingLayer};
+use gaia_core::{
+    ConvolutionalAttentionUnit, FeatureFusionLayer, GaiaConfig, GaiaVariant, TemporalEmbeddingLayer,
+};
 use gaia_nn::ParamStore;
 use gaia_tensor::{Graph, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 const T: usize = 24;
 const C: usize = 32;
@@ -113,7 +115,7 @@ fn bench_ffl_fine_vs_coarse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_cau_vs_plain, bench_tel_group_vs_single, bench_ffl_fine_vs_coarse

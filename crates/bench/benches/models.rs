@@ -3,7 +3,6 @@
 //! prediction time). This is the per-prediction cost structure behind the
 //! paper's "10 minutes for 2M e-sellers" deployment number.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gaia_bench::bench_world;
 use gaia_eval::{build_model, ModelKind};
@@ -13,6 +12,7 @@ use gaia_timeseries::auto_arima;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_forward_per_model(c: &mut Criterion) {
     let (world, ds) = bench_world();
@@ -68,7 +68,7 @@ fn bench_arima_fit(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_forward_per_model, bench_train_step_per_model, bench_arima_fit

@@ -3,7 +3,6 @@
 //! the Fig 1(a) histogram workload and the Section VI batch-inference
 //! scaling points.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gaia_bench::bench_world;
 use gaia_core::trainer::predict_nodes;

@@ -1,12 +1,12 @@
 //! Substrate micro-benchmarks: matmul and conv1d at the shapes the models
 //! actually use ([T, C] = [24, 32]), plus the f32 kernel scaling ablation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gaia_tensor::{conv1d, PadMode, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -44,7 +44,7 @@ fn bench_conv1d(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_matmul, bench_attention_shapes, bench_conv1d

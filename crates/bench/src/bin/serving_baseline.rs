@@ -1,0 +1,69 @@
+//! Emit a serving-throughput baseline (`BENCH_seed.json`) from
+//! [`gaia_serving::ServeStats`]: train one offline cycle on the shared bench
+//! world, boot the online server and measure batch-prediction throughput at
+//! several worker counts.
+//!
+//! Run from the repo root with `cargo run --release -p gaia-bench --bin
+//! serving_baseline`. Future PRs compare their numbers against the committed
+//! baseline to keep the "scale/speed" roadmap honest.
+
+use gaia_bench::bench_world;
+use gaia_core::trainer::TrainConfig;
+use gaia_core::GaiaConfig;
+use gaia_graph::EgoConfig;
+use gaia_serving::{ModelServer, OfflinePipeline, ServeStats};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Baseline {
+    description: String,
+    n_shops: usize,
+    requests: usize,
+    runs: Vec<Run>,
+}
+
+#[derive(Serialize)]
+struct Run {
+    workers: usize,
+    stats: ServeStats,
+}
+
+fn main() {
+    let (world, ds0) = bench_world();
+    let mut cfg = GaiaConfig::new(ds0.t, ds0.horizon, ds0.d_t, ds0.d_s);
+    cfg.channels = 8;
+    cfg.kernel_groups = 2;
+    cfg.layers = 1;
+    cfg.ego = EgoConfig { hops: 1, fanout: 4 };
+    let tc = TrainConfig { epochs: 1, batch_size: 32, verbose: false, ..TrainConfig::default() };
+    let mut pipeline = OfflinePipeline::new(cfg, tc, 7);
+    let (artifact, ds, _) = pipeline.execute_month(&world);
+    let n = ds.n;
+    let server = ModelServer::new(&artifact, world.graph.clone(), ds, 42);
+
+    let shops: Vec<usize> = (0..400).map(|i| i % n).collect();
+    // Warm up caches/allocator before measuring.
+    let _ = server.predict_many(&shops[..50], 2);
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (_, stats) = server.predict_many(&shops, workers);
+        println!(
+            "workers={workers:<2} requests={} seconds={:.3} per_second={:.1}",
+            stats.requests, stats.seconds, stats.per_second
+        );
+        runs.push(Run { workers, stats });
+    }
+
+    let baseline = Baseline {
+        description: "ServeStats throughput for ModelServer::predict_many on the shared \
+                      bench world (200 shops, 1-epoch offline cycle, seed 7/42)"
+            .to_string(),
+        n_shops: n,
+        requests: shops.len(),
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
+    std::fs::write("BENCH_seed.json", json + "\n").expect("write BENCH_seed.json");
+    println!("wrote BENCH_seed.json");
+}

@@ -33,11 +33,7 @@ pub mod inputs {
 
     /// The centre/neighbour input triple for one local node of an ego
     /// subgraph: `(z: [T, 1], f_t: [T, d_t], f_s: [1, d_s])` as constants.
-    pub fn node_inputs(
-        g: &mut Graph,
-        ds: &Dataset,
-        node: usize,
-    ) -> (VarId, VarId, VarId) {
+    pub fn node_inputs(g: &mut Graph, ds: &Dataset, node: usize) -> (VarId, VarId, VarId) {
         let z = g.constant(Tensor::from_vec(vec![ds.t, 1], ds.gmv_norm[node].clone()));
         let f_t = g.constant(ds.temporal[node].clone());
         let f_s = g.constant(ds.statics[node].clone());

@@ -158,7 +158,8 @@ mod tests {
         let (_, attn) = cau.forward_with_attention(&mut g, &ps, hu, hv);
         // With no mask, upper-triangle weights are generally nonzero.
         let a = g.value(attn);
-        let upper: f32 = (0..10).flat_map(|r| ((r + 1)..10).map(move |c| (r, c))).map(|(r, c)| a.at(r, c)).sum();
+        let upper: f32 =
+            (0..10).flat_map(|r| ((r + 1)..10).map(move |c| (r, c))).map(|(r, c)| a.at(r, c)).sum();
         assert!(upper > 0.1, "plain attention should use future positions");
     }
 

@@ -84,7 +84,7 @@ impl GaiaConfig {
         if self.channels == 0 || self.t == 0 || self.horizon == 0 || self.layers == 0 {
             return Err("channels, t, horizon and layers must be positive".into());
         }
-        if self.kernel_groups == 0 || self.channels % self.kernel_groups != 0 {
+        if self.kernel_groups == 0 || !self.channels.is_multiple_of(self.kernel_groups) {
             return Err(format!(
                 "kernel_groups {} must divide channels {}",
                 self.kernel_groups, self.channels

@@ -183,11 +183,7 @@ mod tests {
         g.backward(loss);
         ps.accumulate_grads(&g);
         for p in ps.iter() {
-            assert!(
-                p.grad.max_abs() > 0.0,
-                "parameter {} received no gradient",
-                p.name
-            );
+            assert!(p.grad.max_abs() > 0.0, "parameter {} received no gradient", p.name);
         }
     }
 
@@ -208,8 +204,7 @@ mod tests {
         let a = run(0.0);
         let b = run(1.0);
         for t in 0..cfg.t {
-            let row_diff: f32 =
-                (0..32).map(|c| (a.at(t, c) - b.at(t, c)).abs()).sum();
+            let row_diff: f32 = (0..32).map(|c| (a.at(t, c) - b.at(t, c)).abs()).sum();
             assert!(row_diff > 1e-6, "row {t} unaffected by static features");
         }
     }

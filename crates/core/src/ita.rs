@@ -52,7 +52,10 @@ impl ItaGcnLayer {
             l_s: Conv1d::new(ps, &format!("{name}.ls"), 1, c, 1, PadMode::Causal, true, rng),
             l_d: Conv1d::new(ps, &format!("{name}.ld"), 1, c, 1, PadMode::Causal, true, rng),
             mu: ps.add(format!("{name}.mu"), init::xavier(1, cfg.t, rng)),
-            edge_bias: ps.add(format!("{name}.edge_bias"), gaia_tensor::Tensor::zeros(vec![EdgeType::COUNT])),
+            edge_bias: ps.add(
+                format!("{name}.edge_bias"),
+                gaia_tensor::Tensor::zeros(vec![EdgeType::COUNT]),
+            ),
         }
     }
 
@@ -244,16 +247,8 @@ mod tests {
         let detail = layer.attention_detail(&mut g, &ps, &h, &ego, 0);
         let alphas = g.value(detail.alphas.unwrap());
         // Find which neighbour entry is the supply edge.
-        let idx = ego
-            .neighbors(0)
-            .iter()
-            .position(|nb| nb.ty == EdgeType::SupplyChain)
-            .unwrap();
-        assert!(
-            alphas.data()[idx] > 0.9,
-            "supply-edge α should dominate, got {:?}",
-            alphas.data()
-        );
+        let idx = ego.neighbors(0).iter().position(|nb| nb.ty == EdgeType::SupplyChain).unwrap();
+        assert!(alphas.data()[idx] > 0.9, "supply-edge α should dominate, got {:?}", alphas.data());
     }
 
     #[test]

@@ -242,9 +242,8 @@ mod tests {
         let mut model = Gaia::new(cfg.clone(), 5);
         let mut rng = StdRng::seed_from_u64(6);
         // Pick a centre with neighbours.
-        let center = (0..ds.n)
-            .find(|&v| world.graph.degree(v) >= 2)
-            .expect("some node has neighbours");
+        let center =
+            (0..ds.n).find(|&v| world.graph.degree(v) >= 2).expect("some node has neighbours");
         let ego = extract_ego(&world.graph, center, &cfg.ego, &mut rng);
         let mut g = Graph::new();
         let pred = model.forward_center(&mut g, &ds, &ego);
@@ -310,8 +309,7 @@ mod tests {
         let mut g2 = Graph::new();
         let p2 = model.forward_center(&mut g2, &ds, &ego);
         let changed = g2.value(p2);
-        let diff: f32 =
-            base.data().iter().zip(changed.data()).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = base.data().iter().zip(changed.data()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-6, "neighbour perturbation did not propagate");
     }
 }

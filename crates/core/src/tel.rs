@@ -106,11 +106,8 @@ mod tests {
     fn ablation_uses_single_kernel() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut ps = ParamStore::new();
-        let tel = TemporalEmbeddingLayer::new(
-            &mut ps,
-            &cfg().with_variant(GaiaVariant::NoTel),
-            &mut rng,
-        );
+        let tel =
+            TemporalEmbeddingLayer::new(&mut ps, &cfg().with_variant(GaiaVariant::NoTel), &mut rng);
         assert_eq!(tel.num_groups(), 1);
         let mut g = Graph::new();
         let s = g.constant(Tensor::randn(vec![24, 32], 1.0, &mut rng));

@@ -203,8 +203,7 @@ pub fn train<M: GraphForecaster + ?Sized>(
             epoch_loss += loss;
             batches += 1.0;
         }
-        let val =
-            evaluate_loss(model, ds, graph, &ds.splits.val, cfg.seed ^ 0xABCD, cfg.threads);
+        let val = evaluate_loss(model, ds, graph, &ds.splits.val, cfg.seed ^ 0xABCD, cfg.threads);
         let secs = t0.elapsed().as_secs_f64();
         if cfg.verbose {
             eprintln!(
@@ -307,11 +306,7 @@ mod tests {
         };
         let report = train(&mut model, &ds, &world.graph, &cfg);
         assert_eq!(report.train_loss.len(), 3);
-        assert!(
-            report.train_loss[2] < report.train_loss[0],
-            "loss went {:?}",
-            report.train_loss
-        );
+        assert!(report.train_loss[2] < report.train_loss[0], "loss went {:?}", report.train_loss);
         assert!(report.train_loss.iter().all(|l| l.is_finite()));
     }
 

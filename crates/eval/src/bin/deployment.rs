@@ -28,7 +28,10 @@ fn main() {
     // --- Offline: monthly pipeline trains and publishes Gaia. -------------
     let model_cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
     let mut pipeline = OfflinePipeline::new(model_cfg, cfg.train.clone(), cfg.seed);
-    eprintln!("offline pipeline: training Gaia ({} shops, {} epochs)", cfg.world.n_shops, cfg.train.epochs);
+    eprintln!(
+        "offline pipeline: training Gaia ({} shops, {} epochs)",
+        cfg.world.n_shops, cfg.train.epochs
+    );
     let (artifact, ds, _) = pipeline.execute_month(&world);
 
     // --- The previously deployed baseline: LogTrans. ----------------------
@@ -41,10 +44,12 @@ fn main() {
 
     // --- Online: boot the server, treat the test split as new-coming
     //     e-sellers arriving for real-time prediction. ---------------------
-    let server = std::sync::Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds.clone(), cfg.seed));
+    let server =
+        std::sync::Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds.clone(), cfg.seed));
     let newcomers = ds.splits.test.clone();
     let (gaia_preds, stats) = server.predict_many(&newcomers, cfg.train.threads);
-    let lt_preds = predict_nodes(&logtrans, &ds, &world.graph, &newcomers, cfg.seed, cfg.train.threads);
+    let lt_preds =
+        predict_nodes(&logtrans, &ds, &world.graph, &newcomers, cfg.seed, cfg.train.threads);
 
     let actuals: Vec<Vec<f64>> = newcomers.iter().map(|&v| ds.targets_raw[v].clone()).collect();
     let gaia_cur: Vec<Vec<f64>> = gaia_preds.iter().map(|p| p.currency.clone()).collect();

@@ -17,8 +17,10 @@ fn main() {
         result.attention_distance_correlation,
         result.scatter.len()
     );
-    println!("\nFIG 4(b): inter attention heatmap, centre shop {} vs neighbour {}", 
-        result.heatmap_pair.0, result.heatmap_pair.1);
+    println!(
+        "\nFIG 4(b): inter attention heatmap, centre shop {} vs neighbour {}",
+        result.heatmap_pair.0, result.heatmap_pair.1
+    );
     // Coarse ASCII heatmap: rows = query timestamps, shades by weight.
     let shades = [' ', '.', ':', '+', '#', '@'];
     for row in &result.heatmap {

@@ -29,7 +29,13 @@ impl Default for HarnessConfig {
     fn default() -> Self {
         Self {
             world: WorldConfig::default(),
-            train: TrainConfig { epochs: 6, batch_size: 32, lr: 3e-3, verbose: true, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                lr: 3e-3,
+                verbose: true,
+                ..TrainConfig::default()
+            },
             seed: 17,
         }
     }
@@ -318,8 +324,7 @@ pub struct Fig4Result {
 /// Run the Fig 4 case study on a trained Gaia model.
 pub fn run_fig4(cfg: &HarnessConfig) -> Fig4Result {
     let (world, ds) = cfg.materialize();
-    let gcfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s)
-        .with_variant(GaiaVariant::Full);
+    let gcfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s).with_variant(GaiaVariant::Full);
     let mut model = Gaia::new(gcfg.clone(), cfg.seed);
     train(&mut model, &ds, &world.graph, &cfg.train);
 
@@ -353,9 +358,8 @@ pub fn run_fig4(cfg: &HarnessConfig) -> Fig4Result {
         if heatmap.is_empty() {
             if let Some((local, attn)) = detail.inter.first() {
                 let a = g.value(*attn);
-                heatmap = (0..ds.t)
-                    .map(|r| (0..ds.t).map(|c| a.at(r, c) as f64).collect())
-                    .collect();
+                heatmap =
+                    (0..ds.t).map(|r| (0..ds.t).map(|c| a.at(r, c) as f64).collect()).collect();
                 heatmap_pair = (center, ego.nodes[*local as usize] as usize);
             }
         }
@@ -396,8 +400,10 @@ mod tests {
 
     #[test]
     fn from_args_parses_overrides() {
-        let args: Vec<String> =
-            ["--shops", "200", "--epochs", "3", "--seed", "9", "--quiet"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--shops", "200", "--epochs", "3", "--seed", "9", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let cfg = HarnessConfig::from_args(&args);
         assert_eq!(cfg.world.n_shops, 200);
         assert_eq!(cfg.train.epochs, 3);

@@ -30,7 +30,10 @@ pub use table::{render_ranking, render_table};
 pub use zoo::{build_model, ModelKind};
 
 /// Write a JSON result dump under `results/`, creating the directory.
-pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn dump_json<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));

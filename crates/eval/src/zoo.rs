@@ -3,8 +3,7 @@
 //! way.
 
 use gaia_baselines::{
-    Gat, GeniePath, Gman, GnnConfig, GraphSage, LogTrans, LogTransConfig, Mtgnn, Stgcn,
-    StgnnConfig,
+    Gat, GeniePath, Gman, GnnConfig, GraphSage, LogTrans, LogTransConfig, Mtgnn, Stgcn, StgnnConfig,
 };
 use gaia_core::{Gaia, GaiaConfig, GaiaVariant, GraphForecaster};
 use gaia_synth::Dataset;

@@ -98,8 +98,8 @@ pub fn extract_ego<R: Rng>(
                 nbs.to_vec()
             };
             for nb in chosen {
-                if !local_of.contains_key(&nb.node) {
-                    local_of.insert(nb.node, nodes.len() as u32);
+                if let std::collections::hash_map::Entry::Vacant(slot) = local_of.entry(nb.node) {
+                    slot.insert(nodes.len() as u32);
                     nodes.push(nb.node);
                     hops.push(hop as u8);
                     next.push(nb.node);
@@ -167,9 +167,8 @@ mod tests {
     #[test]
     fn fanout_caps_neighbors() {
         // Star graph: center 0 with 20 leaves.
-        let edges: Vec<Edge> = (1..21)
-            .map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner })
-            .collect();
+        let edges: Vec<Edge> =
+            (1..21).map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner }).collect();
         let g = EsellerGraph::from_edges(21, &edges);
         let mut rng = StdRng::seed_from_u64(3);
         let ego = extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut rng);
@@ -178,12 +177,13 @@ mod tests {
 
     #[test]
     fn fanout_sampling_is_seed_deterministic() {
-        let edges: Vec<Edge> = (1..21)
-            .map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner })
-            .collect();
+        let edges: Vec<Edge> =
+            (1..21).map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner }).collect();
         let g = EsellerGraph::from_edges(21, &edges);
-        let a = extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut StdRng::seed_from_u64(9));
-        let b = extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut StdRng::seed_from_u64(9));
+        let a =
+            extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut StdRng::seed_from_u64(9));
+        let b =
+            extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut StdRng::seed_from_u64(9));
         assert_eq!(a.nodes, b.nodes);
     }
 
@@ -194,6 +194,43 @@ mod tests {
         let ego = extract_ego(&g, 0, &EgoConfig::default(), &mut rng);
         assert!(ego.is_empty());
         assert_eq!(ego.len(), 1);
+    }
+
+    /// Hand-built 5-node graph with all three edge types, as a smoke test of
+    /// the full extraction contract: hop ordering, type preservation and
+    /// exclusion of out-of-range nodes.
+    ///
+    /// ```text
+    ///   0 ──SupplyChain──► 1 ──SameOwner── 2
+    ///   1 ──SameShareholder── 3        4 (isolated)
+    /// ```
+    #[test]
+    fn five_node_mixed_type_extraction() {
+        let edges = [
+            Edge { src: 0, dst: 1, ty: EdgeType::SupplyChain },
+            Edge { src: 1, dst: 2, ty: EdgeType::SameOwner },
+            Edge { src: 1, dst: 3, ty: EdgeType::SameShareholder },
+        ];
+        let g = EsellerGraph::from_edges(5, &edges);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ego = extract_ego(&g, 0, &EgoConfig { hops: 2, fanout: 8 }, &mut rng);
+        // 0 at hop 0, 1 at hop 1, {2, 3} at hop 2; node 4 unreachable.
+        assert_eq!(ego.len(), 4);
+        assert!(!ego.nodes.contains(&4));
+        assert_eq!(ego.hops[0], 0);
+        let hop_of = |orig: u32| ego.hops[ego.nodes.iter().position(|&n| n == orig).unwrap()];
+        assert_eq!(hop_of(1), 1);
+        assert_eq!(hop_of(2), 2);
+        assert_eq!(hop_of(3), 2);
+        // Edge types survive localisation.
+        let tys: Vec<EdgeType> = ego
+            .neighbors(ego.nodes.iter().position(|&n| n == 1).unwrap())
+            .iter()
+            .map(|nb| nb.ty)
+            .collect();
+        assert!(tys.contains(&EdgeType::SupplyChain));
+        assert!(tys.contains(&EdgeType::SameOwner));
+        assert!(tys.contains(&EdgeType::SameShareholder));
     }
 
     #[test]

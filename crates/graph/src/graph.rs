@@ -76,7 +76,10 @@ impl EsellerGraph {
         let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
         let mut kept = 0usize;
         for e in edges {
-            assert!((e.src as usize) < n && (e.dst as usize) < n, "edge {e:?} out of range (n={n})");
+            assert!(
+                (e.src as usize) < n && (e.dst as usize) < n,
+                "edge {e:?} out of range (n={n})"
+            );
             if e.src == e.dst {
                 continue;
             }

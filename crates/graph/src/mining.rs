@@ -88,7 +88,12 @@ pub fn mine_supply_chain(
             }
         }
         if best_corr >= cfg.threshold {
-            out.push(MinedRelation { supplier: s, retailer: r, lag: best_lag, correlation: best_corr });
+            out.push(MinedRelation {
+                supplier: s,
+                retailer: r,
+                lag: best_lag,
+                correlation: best_corr,
+            });
         }
     }
     out

@@ -94,27 +94,17 @@ impl Histogram {
         }
         let width = if self.edges.len() > 1 { self.edges[1] - self.edges[0] } else { 1.0 };
         let mids: Vec<f64> = self.edges.iter().map(|e| e + width / 2.0).collect();
-        let mean: f64 = mids
-            .iter()
-            .zip(&self.counts)
-            .map(|(m, &c)| m * c as f64)
-            .sum::<f64>()
-            / total as f64;
-        let var: f64 = mids
-            .iter()
-            .zip(&self.counts)
-            .map(|(m, &c)| (m - mean).powi(2) * c as f64)
-            .sum::<f64>()
-            / total as f64;
+        let mean: f64 =
+            mids.iter().zip(&self.counts).map(|(m, &c)| m * c as f64).sum::<f64>() / total as f64;
+        let var: f64 =
+            mids.iter().zip(&self.counts).map(|(m, &c)| (m - mean).powi(2) * c as f64).sum::<f64>()
+                / total as f64;
         if var <= 1e-12 {
             return 0.0;
         }
-        let m3: f64 = mids
-            .iter()
-            .zip(&self.counts)
-            .map(|(m, &c)| (m - mean).powi(3) * c as f64)
-            .sum::<f64>()
-            / total as f64;
+        let m3: f64 =
+            mids.iter().zip(&self.counts).map(|(m, &c)| (m - mean).powi(3) * c as f64).sum::<f64>()
+                / total as f64;
         m3 / var.powf(1.5)
     }
 }

@@ -147,7 +147,10 @@ impl MultiHeadSelfAttention {
         n_heads: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(n_heads > 0 && dim % n_heads == 0, "dim {dim} not divisible by heads {n_heads}");
+        assert!(
+            n_heads > 0 && dim.is_multiple_of(n_heads),
+            "dim {dim} not divisible by heads {n_heads}"
+        );
         let hd = dim / n_heads;
         let heads = (0..n_heads)
             .map(|h| AttentionHead {
@@ -162,7 +165,13 @@ impl MultiHeadSelfAttention {
 
     /// Self-attention `x -> softmax(QK^T/sqrt(d) + mask) V`, per head, then
     /// output projection.
-    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId, mask: Option<&Tensor>) -> VarId {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        x: VarId,
+        mask: Option<&Tensor>,
+    ) -> VarId {
         self.forward_kv(g, ps, x, x, mask)
     }
 
@@ -358,13 +367,7 @@ impl Mlp {
 
 /// Inverted-dropout: at train time zero each element with probability `p` and
 /// rescale survivors by `1/(1-p)`; identity at eval time.
-pub fn dropout<R: Rng>(
-    g: &mut Graph,
-    x: VarId,
-    p: f32,
-    training: bool,
-    rng: &mut R,
-) -> VarId {
+pub fn dropout<R: Rng>(g: &mut Graph, x: VarId, p: f32, training: bool, rng: &mut R) -> VarId {
     if !training || p <= 0.0 {
         return x;
     }
@@ -372,9 +375,8 @@ pub fn dropout<R: Rng>(
     let shape = g.value(x).shape().to_vec();
     let keep = 1.0 - p;
     let n: usize = shape.iter().product();
-    let mask_data: Vec<f32> = (0..n)
-        .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-        .collect();
+    let mask_data: Vec<f32> =
+        (0..n).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
     g.mul_const(x, Tensor::from_vec(shape, mask_data))
 }
 
@@ -547,5 +549,46 @@ mod tests {
         assert_eq!(m.at(0, 0), 0.0);
         assert_eq!(m.at(0, 1), -1e9);
         assert_eq!(m.at(2, 1), 0.0);
+    }
+
+    /// Smoke test of the stacked hot path every temporal model uses:
+    /// conv1d → multi-head attention → MLP head, checking shapes end to end
+    /// and that gradients reach every registered parameter.
+    #[test]
+    fn conv_attention_mlp_stack_shapes_and_grads() {
+        let (t, c) = (6, 8);
+        let mut r = rng();
+        let mut ps = ParamStore::new();
+        let conv = Conv1d::new(&mut ps, "s.conv", 3, 2, c, PadMode::Causal, true, &mut r);
+        let attn = MultiHeadSelfAttention::new(&mut ps, "s.attn", c, 2, &mut r);
+        let head = Mlp::new(&mut ps, "s.head", &[c, 4, 1], &mut r);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::randn(vec![t, 2], 1.0, &mut r));
+        let h = conv.forward(&mut g, &ps, x);
+        assert_eq!(g.value(h).shape(), &[t, c]);
+        let a = attn.forward(&mut g, &ps, h, Some(&causal_mask(t)));
+        assert_eq!(g.value(a).shape(), &[t, c]);
+        let y = head.forward(&mut g, &ps, a);
+        assert_eq!(g.value(y).shape(), &[t, 1]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        ps.accumulate_grads(&g);
+        let reached = ps.iter().filter(|p| p.grad.max_abs() > 0.0).count();
+        // Every parameter participates except possibly dead-ReLU MLP units.
+        assert!(reached >= ps.len() - 2, "only {reached}/{} params got gradient", ps.len());
+    }
+
+    /// Identical seeds must yield identical layer initialisations (the layer
+    /// half of init determinism; `init::tests` covers the raw initialisers).
+    #[test]
+    fn layer_init_is_seed_deterministic() {
+        let build = || {
+            let mut r = StdRng::seed_from_u64(123);
+            let mut ps = ParamStore::new();
+            Conv1d::new(&mut ps, "d.conv", 3, 2, 4, PadMode::Same, true, &mut r);
+            MultiHeadSelfAttention::new(&mut ps, "d.attn", 4, 2, &mut r);
+            ps.iter().map(|p| p.value.data().to_vec()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
     }
 }

@@ -24,10 +24,7 @@ impl Sgd {
     /// Apply one update using the gradients accumulated in `store`.
     pub fn step(&mut self, store: &mut ParamStore) {
         if self.velocity.len() != store.len() {
-            self.velocity = store
-                .iter()
-                .map(|p| Tensor::zeros(p.value.shape().to_vec()))
-                .collect();
+            self.velocity = store.iter().map(|p| Tensor::zeros(p.value.shape().to_vec())).collect();
         }
         for (i, p) in store.iter_mut().enumerate() {
             if self.momentum > 0.0 {

@@ -145,12 +145,7 @@ impl ParamStore {
     pub fn load_values_from(&mut self, other: &ParamStore) {
         assert_eq!(self.params.len(), other.params.len(), "param count mismatch");
         for (dst, src) in self.params.iter_mut().zip(other.params.iter()) {
-            assert_eq!(
-                dst.value.shape(),
-                src.value.shape(),
-                "shape mismatch for {}",
-                dst.name
-            );
+            assert_eq!(dst.value.shape(), src.value.shape(), "shape mismatch for {}", dst.name);
             dst.value = src.value.clone();
         }
     }

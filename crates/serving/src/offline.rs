@@ -80,7 +80,8 @@ mod tests {
     #[test]
     fn monthly_execution_produces_versioned_artifacts() {
         let (world, ds) = generate_dataset(WorldConfig::tiny());
-        let tc = TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
+        let tc =
+            TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
         let mut pipeline = OfflinePipeline::new(small_model_cfg(&ds), tc, 5);
         let (a1, _, r1) = pipeline.execute_month(&world);
         let (a2, _, _) = pipeline.execute_month(&world);

@@ -174,7 +174,8 @@ mod tests {
         cfg.kernel_groups = 2;
         cfg.layers = 1;
         cfg.ego = EgoConfig { hops: 1, fanout: 3 };
-        let tc = TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
+        let tc =
+            TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
         let mut pipeline = OfflinePipeline::new(cfg, tc, 3);
         let (artifact, ds, _) = pipeline.execute_month(&world);
         let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));

@@ -148,14 +148,11 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = WorldConfig::default();
-        c.months = 10;
+        let c = WorldConfig { months: 10, ..WorldConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = WorldConfig::default();
-        c.supplier_fraction = 1.5;
+        let c = WorldConfig { supplier_fraction: 1.5, ..WorldConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = WorldConfig::default();
-        c.supply_lead_months = 0..2;
+        let c = WorldConfig { supply_lead_months: 0..2, ..WorldConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -141,23 +141,17 @@ pub fn build_dataset(world: &World) -> Dataset {
     // Scaler fitted on observed training cells of the input window only.
     let scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
         let shop = &world.shops[v];
-        (in_start..fut_start)
-            .filter(move |&m| m >= shop.opened)
-            .map(move |m| shop.gmv[m])
+        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.gmv[m])
     }));
 
     // Secondary scalers for auxiliary magnitudes, also train-only.
     let orders_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
         let shop = &world.shops[v];
-        (in_start..fut_start)
-            .filter(move |&m| m >= shop.opened)
-            .map(move |m| shop.orders[m])
+        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.orders[m])
     }));
     let customers_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
         let shop = &world.shops[v];
-        (in_start..fut_start)
-            .filter(move |&m| m >= shop.opened)
-            .map(move |m| shop.customers[m])
+        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.customers[m])
     }));
 
     let d_s = cfg.n_industries + cfg.n_regions + 2;
@@ -178,7 +172,8 @@ pub fn build_dataset(world: &World) -> Dataset {
             let moy = month_of_year(m) as f32;
             *feats.at_mut(row, 0) = (std::f32::consts::TAU * moy / 12.0).sin();
             *feats.at_mut(row, 1) = (std::f32::consts::TAU * moy / 12.0).cos();
-            *feats.at_mut(row, 2) = if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
+            *feats.at_mut(row, 2) =
+                if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
             *feats.at_mut(row, 3) =
                 if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
             *feats.at_mut(row, 4) = if observed { 1.0 } else { 0.0 };
@@ -348,9 +343,8 @@ mod tests {
         for v in 0..ds.n {
             let s = &ds.statics[v];
             let ind_sum: f32 = (0..world.config.n_industries).map(|i| s.at(0, i)).sum();
-            let reg_sum: f32 = (0..world.config.n_regions)
-                .map(|i| s.at(0, world.config.n_industries + i))
-                .sum();
+            let reg_sum: f32 =
+                (0..world.config.n_regions).map(|i| s.at(0, world.config.n_industries + i)).sum();
             assert_eq!(ind_sum, 1.0);
             assert_eq!(reg_sum, 1.0);
         }

@@ -15,5 +15,7 @@ pub mod features;
 pub mod world;
 
 pub use config::WorldConfig;
-pub use features::{build_dataset, generate_dataset, Dataset, Scaler, Splits, D_TEMPORAL, TARGET_SHIFT};
+pub use features::{
+    build_dataset, generate_dataset, Dataset, Scaler, Splits, D_TEMPORAL, TARGET_SHIFT,
+};
 pub use world::{month_of_year, Role, Shop, TrueSupplyLink, World};

@@ -58,7 +58,7 @@ pub struct Shop {
 impl Shop {
     /// Observed series length within a window ending at `end` (exclusive).
     pub fn observed_len(&self, end: usize) -> usize {
-        end.saturating_sub(self.opened.max(0))
+        end.saturating_sub(self.opened)
     }
 }
 
@@ -97,9 +97,9 @@ pub fn month_of_year(t: usize) -> usize {
 /// Section III-B).
 fn festival_boost(month: usize) -> f64 {
     match month_of_year(month) {
-        5 => 0.5,   // June (6.18)
-        10 => 1.0,  // November (11.11)
-        11 => 0.7,  // December (12.12)
+        5 => 0.5,  // June (6.18)
+        10 => 1.0, // November (11.11)
+        11 => 0.7, // December (12.12)
         _ => 0.0,
     }
 }
@@ -145,8 +145,7 @@ impl World {
         // Guarantee at least one supplier and one retailer per industry when
         // possible, so supply chains exist everywhere.
         for ind in 0..config.n_industries {
-            let members: Vec<usize> =
-                (0..n).filter(|&v| shops_meta[v].0 as usize == ind).collect();
+            let members: Vec<usize> = (0..n).filter(|&v| shops_meta[v].0 as usize == ind).collect();
             if members.len() >= 2 {
                 let has_supplier = members.iter().any(|&v| shops_meta[v].2 == Role::Supplier);
                 if !has_supplier {
@@ -181,9 +180,8 @@ impl World {
             owner_of[i] = owner;
             if rng.gen_bool(config.owner_cluster_fraction) {
                 // Pull in additional shops for this owner.
-                let extra = ((config.owner_cluster_size - 1.0).max(0.0)
-                    * rng.gen_range(0.5..1.5))
-                .round() as usize;
+                let extra = ((config.owner_cluster_size - 1.0).max(0.0) * rng.gen_range(0.5..1.5))
+                    .round() as usize;
                 let mut added = 0;
                 let mut j = i + 1;
                 while j < n && added < extra {
@@ -221,8 +219,7 @@ impl World {
         let mut shops: Vec<Shop> = Vec::with_capacity(n);
         for v in 0..n {
             let (industry, region, role, lead) = shops_meta[v];
-            let base =
-                config.base_gmv * (gauss(&mut rng) as f64 * config.base_sigma).exp();
+            let base = config.base_gmv * (gauss(&mut rng) as f64 * config.base_sigma).exp();
             let of = &owner_factor[owner_of[v] as usize];
             // Per-shop seasonal phase: mostly aligned with the industry but
             // with small jitter, amplitude scaled by config.
@@ -237,10 +234,9 @@ impl World {
                 // stock up before they sell, so every demand-driven component
                 // (market, seasonality, festivals) is left-shifted for them.
                 let t_eff = t as f64 + lead as f64;
-                let market = config.market_amplitude
-                    * industries[industry as usize].value(t_eff);
-                let seasonal = season_amp
-                    * (std::f64::consts::TAU * (t_eff + season_phase) / 12.0).sin();
+                let market = config.market_amplitude * industries[industry as usize].value(t_eff);
+                let seasonal =
+                    season_amp * (std::f64::consts::TAU * (t_eff + season_phase) / 12.0).sin();
                 // Festivals hit retailers directly; suppliers feel them early
                 // (stocking orders) at reduced strength.
                 let festival = match role {
@@ -276,7 +272,9 @@ impl World {
         let suppliers_by_industry: Vec<Vec<u32>> = (0..config.n_industries)
             .map(|ind| {
                 (0..n)
-                    .filter(|&v| shops[v].industry as usize == ind && shops[v].role == Role::Supplier)
+                    .filter(|&v| {
+                        shops[v].industry as usize == ind && shops[v].role == Role::Supplier
+                    })
                     .map(|v| v as u32)
                     .collect()
             })
@@ -289,8 +287,8 @@ impl World {
             if pool.is_empty() {
                 continue;
             }
-            let k = sample_poisson_like(config.suppliers_per_retailer, &mut rng)
-                .clamp(1, pool.len());
+            let k =
+                sample_poisson_like(config.suppliers_per_retailer, &mut rng).clamp(1, pool.len());
             for _ in 0..k {
                 let s = pool[rng.gen_range(0..pool.len())];
                 edges.push(Edge { src: s, dst: v as u32, ty: EdgeType::SupplyChain });
@@ -302,7 +300,8 @@ impl World {
             }
         }
         // Same owner / shareholder: clique within each owner cluster.
-        let mut members: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        let mut members: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
         for v in 0..n {
             members.entry(shops[v].owner).or_default().push(v as u32);
         }
@@ -425,11 +424,8 @@ mod tests {
     fn age_distribution_is_skewed() {
         let w = World::generate(WorldConfig { n_shops: 2000, ..WorldConfig::default() });
         let full = w.shops.iter().filter(|s| s.opened == 0).count();
-        let short = w
-            .shops
-            .iter()
-            .filter(|s| s.observed_len(w.config.horizon_start()) < 10)
-            .count();
+        let short =
+            w.shops.iter().filter(|s| s.observed_len(w.config.horizon_start()) < 10).count();
         // Close to the configured fraction of old shops...
         assert!((full as f64 / 2000.0 - 0.4).abs() < 0.08, "full fraction {}", full);
         // ...and a sizeable "new shop" group exists for the Fig 3 experiment.
@@ -440,7 +436,11 @@ mod tests {
     fn supply_chain_lead_is_detectable() {
         // A supplier's GMV should correlate more strongly with its retailer's
         // *future* than with its present — averaged over true links.
-        let w = World::generate(WorldConfig { n_shops: 400, noise_std: 0.02, ..WorldConfig::default() });
+        let w = World::generate(WorldConfig {
+            n_shops: 400,
+            noise_std: 0.02,
+            ..WorldConfig::default()
+        });
         let mut lead_scores = 0.0;
         let mut sync_scores = 0.0;
         let mut count = 0;

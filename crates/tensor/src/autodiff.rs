@@ -85,9 +85,7 @@ impl Graph {
     /// Iterate over `(external key, gradient)` pairs of bound parameters that
     /// received a gradient during the last [`Graph::backward`] call.
     pub fn param_grads(&self) -> impl Iterator<Item = (usize, &Tensor)> {
-        self.bindings
-            .iter()
-            .filter_map(move |&(key, var)| self.grad(var).map(|g| (key, g)))
+        self.bindings.iter().filter_map(move |&(key, var)| self.grad(var).map(|g| (key, g)))
     }
 
     // ------------------------------------------------------------------
@@ -97,11 +95,7 @@ impl Graph {
     /// `a + b` (same shape).
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.nodes[a].value.add(&self.nodes[b].value);
-        self.push(
-            v,
-            vec![a, b],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
-        )
+        self.push(v, vec![a, b], Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])))
     }
 
     /// Sum of several same-shape tensors (n-ary [`Graph::add`], used for
@@ -123,11 +117,7 @@ impl Graph {
     /// `a - b` (same shape).
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.nodes[a].value.sub(&self.nodes[b].value);
-        self.push(
-            v,
-            vec![a, b],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)])),
-        )
+        self.push(v, vec![a, b], Some(Box::new(|g, _, _| vec![g.clone(), g.scale(-1.0)])))
     }
 
     /// Hadamard product `a ⊙ b` (same shape) — Eq. (7) of the paper.
@@ -136,9 +126,7 @@ impl Graph {
         self.push(
             v,
             vec![a, b],
-            Some(Box::new(|g, inputs, _| {
-                vec![g.mul(inputs[1]), g.mul(inputs[0])]
-            })),
+            Some(Box::new(|g, inputs, _| vec![g.mul(inputs[1]), g.mul(inputs[0])])),
         )
     }
 
@@ -228,11 +216,7 @@ impl Graph {
     pub fn reshape(&mut self, a: VarId, shape: Vec<usize>) -> VarId {
         let old_shape = self.nodes[a].value.shape().to_vec();
         let v = self.nodes[a].value.reshaped(shape);
-        self.push(
-            v,
-            vec![a],
-            Some(Box::new(move |g, _, _| vec![g.reshaped(old_shape.clone())])),
-        )
+        self.push(v, vec![a], Some(Box::new(move |g, _, _| vec![g.reshaped(old_shape.clone())])))
     }
 
     /// Concatenate rank-2 tensors along columns — the `||` operator of Eqs
@@ -336,9 +320,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(|g, _, out| {
-                vec![g.zip_map(out, |gv, y| gv * y * (1.0 - y))]
-            })),
+            Some(Box::new(|g, _, out| vec![g.zip_map(out, |gv, y| gv * y * (1.0 - y))])),
         )
     }
 
@@ -348,9 +330,7 @@ impl Graph {
         self.push(
             v,
             vec![a],
-            Some(Box::new(|g, _, out| {
-                vec![g.zip_map(out, |gv, y| gv * (1.0 - y * y))]
-            })),
+            Some(Box::new(|g, _, out| vec![g.zip_map(out, |gv, y| gv * (1.0 - y * y))])),
         )
     }
 
@@ -434,9 +414,7 @@ impl Graph {
         self.push(
             Tensor::from_vec(vec![n], data),
             xs.to_vec(),
-            Some(Box::new(move |g, _, _| {
-                (0..n).map(|i| Tensor::scalar(g.data()[i])).collect()
-            })),
+            Some(Box::new(move |g, _, _| (0..n).map(|i| Tensor::scalar(g.data()[i])).collect())),
         )
     }
 
@@ -517,8 +495,7 @@ impl Graph {
                     let inv = 1.0 / (var + eps).sqrt();
                     // x_hat and the two row means needed by the backward pass.
                     let xhat: Vec<f32> = row.iter().map(|v| (v - mean) * inv).collect();
-                    let gg: Vec<f32> =
-                        (0..cols).map(|c| g.at(r, c) * gamma.data()[c]).collect();
+                    let gg: Vec<f32> = (0..cols).map(|c| g.at(r, c) * gamma.data()[c]).collect();
                     let mean_gg: f32 = gg.iter().sum::<f32>() / cols as f32;
                     let mean_gg_xhat: f32 =
                         gg.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / cols as f32;
@@ -544,9 +521,7 @@ impl Graph {
         self.push(
             v,
             vec![x],
-            Some(Box::new(move |g, _, _| {
-                vec![Tensor::full(shape.clone(), g.data()[0])]
-            })),
+            Some(Box::new(move |g, _, _| vec![Tensor::full(shape.clone(), g.data()[0])])),
         )
     }
 
@@ -632,8 +607,7 @@ mod tests {
             let rp = build(&mut gp, &plus);
             let mut gm = Graph::new();
             let rm = build(&mut gm, &minus);
-            grad.data_mut()[i] =
-                (gp.value(rp).data()[0] - gm.value(rm).data()[0]) / (2.0 * eps);
+            grad.data_mut()[i] = (gp.value(rp).data()[0] - gm.value(rm).data()[0]) / (2.0 * eps);
         }
         grad
     }
@@ -950,10 +924,64 @@ mod tests {
     #[test]
     fn sum_vars_matches_fold() {
         let mut g = Graph::new();
-        let xs: Vec<VarId> = (0..4)
-            .map(|i| g.constant(Tensor::full(vec![2], i as f32)))
-            .collect();
+        let xs: Vec<VarId> = (0..4).map(|i| g.constant(Tensor::full(vec![2], i as f32))).collect();
         let s = g.sum_vars(&xs);
         assert_eq!(g.value(s).data(), &[6.0, 6.0]);
+    }
+
+    /// Composite-tape gradient check: conv1d → layer_norm → QKᵀ softmax
+    /// attention → mse in ONE tape, exercising gradient flow across op
+    /// boundaries the per-op tests cannot see.
+    #[test]
+    fn grad_composite_conv_norm_attention_pipeline() {
+        let t_len = 5;
+        let c = 3;
+        let inputs = rand_inputs(
+            &[
+                vec![t_len, c], // x
+                vec![2, c, c],  // conv kernel
+                vec![c],        // layer-norm gamma
+                vec![c],        // layer-norm beta
+                vec![c, c],     // query projection
+                vec![c, c],     // key projection
+            ],
+            41,
+        );
+        let target = Tensor::randn(vec![t_len, c], 0.5, &mut StdRng::seed_from_u64(42));
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let conv = g.conv1d(v[0], v[1], None, PadMode::Causal);
+                let normed = g.layer_norm(conv, v[2], v[3], 1e-5);
+                let q = g.matmul(normed, v[4]);
+                let k = g.matmul(normed, v[5]);
+                let kt = g.transpose(k);
+                let logits = g.matmul(q, kt);
+                let attn = g.softmax_rows(logits, None);
+                let out = g.matmul(attn, normed);
+                g.mse(out, &target)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    /// The same composite tape is bit-deterministic: identical seeds give
+    /// identical losses and gradients across two independent constructions.
+    #[test]
+    fn composite_tape_is_deterministic() {
+        let run = || {
+            let inputs = rand_inputs(&[vec![4, 2], vec![2, 2, 2]], 7);
+            let mut g = Graph::new();
+            let x = g.bind_param(0, inputs[0].clone());
+            let w = g.bind_param(1, inputs[1].clone());
+            let conv = g.conv1d(x, w, None, PadMode::Same);
+            let act = g.tanh(conv);
+            let loss = g.mean_all(act);
+            g.backward(loss);
+            let grads: Vec<Vec<f32>> = g.param_grads().map(|(_, t)| t.data().to_vec()).collect();
+            (g.value(loss).data().to_vec(), grads)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -88,13 +88,19 @@ pub fn solve(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, LinalgError> {
 /// mildly collinear regressors (common for short GMV series) stay solvable.
 pub fn lstsq(x: &[f64], y: &[f64], rows: usize, cols: usize) -> Result<Vec<f64>, LinalgError> {
     if x.len() != rows * cols {
-        return Err(LinalgError::Dimension(format!("X has {} entries, want {}", x.len(), rows * cols)));
+        return Err(LinalgError::Dimension(format!(
+            "X has {} entries, want {}",
+            x.len(),
+            rows * cols
+        )));
     }
     if y.len() != rows {
         return Err(LinalgError::Dimension(format!("y has {} entries, want {}", y.len(), rows)));
     }
     if rows < cols {
-        return Err(LinalgError::Dimension(format!("underdetermined system: {rows} rows < {cols} cols")));
+        return Err(LinalgError::Dimension(format!(
+            "underdetermined system: {rows} rows < {cols} cols"
+        )));
     }
     // Form X^T X and X^T y.
     let mut xtx = vec![0.0f64; cols * cols];

@@ -188,7 +188,11 @@ impl Tensor {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "zip_map: shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
@@ -591,7 +595,11 @@ mod tests {
                 let mut xm = x.clone();
                 xm.data_mut()[idx] -= eps;
                 let num = (f(&xp, &w, &b) - f(&xm, &w, &b)) / (2.0 * eps);
-                assert!((num - dx.data()[idx]).abs() < 1e-2, "dx[{idx}] {num} vs {}", dx.data()[idx]);
+                assert!(
+                    (num - dx.data()[idx]).abs() < 1e-2,
+                    "dx[{idx}] {num} vs {}",
+                    dx.data()[idx]
+                );
             }
             for idx in 0..w.len() {
                 let mut wp = w.clone();

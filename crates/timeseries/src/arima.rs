@@ -125,11 +125,7 @@ impl ArimaModel {
         // Stage 1: long AR to estimate innovations. Order grows with the data
         // but stays well under the sample size.
         let m = ((w.len() as f64).ln().ceil() as usize + p.max(q)).clamp(1, w.len() / 3);
-        let resid = if q > 0 {
-            long_ar_residuals(&w, m)?
-        } else {
-            vec![0.0; w.len()]
-        };
+        let resid = if q > 0 { long_ar_residuals(&w, m)? } else { vec![0.0; w.len()] };
 
         // Stage 2: regress w[t] on its own p lags and q lagged innovations.
         let start = p.max(if q > 0 { m + q } else { 0 });
@@ -390,8 +386,9 @@ mod tests {
 
     #[test]
     fn seasonal_series_forecast_is_bounded() {
-        let s: Vec<f64> =
-            (0..48).map(|t| 100.0 + 20.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin()).collect();
+        let s: Vec<f64> = (0..48)
+            .map(|t| 100.0 + 20.0 * (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
         let m = auto_arima(&s, 2, 2, 1);
         let f = m.forecast(3);
         for v in &f {

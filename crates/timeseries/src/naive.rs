@@ -23,9 +23,7 @@ pub fn seasonal_naive(series: &[f64], horizon: usize, s: usize) -> Vec<f64> {
     if series.len() < s || s == 0 {
         return persistence(series, horizon);
     }
-    (0..horizon)
-        .map(|h| series[series.len() - s + (h % s)])
-        .collect()
+    (0..horizon).map(|h| series[series.len() - s + (h % s)]).collect()
 }
 
 #[cfg(test)]

@@ -51,18 +51,9 @@ pub fn pacf(x: &[f64], max_lag: usize) -> Vec<f64> {
         let phi_kk = if k == 1 {
             rho[1]
         } else {
-            let num = rho[k]
-                - phi_prev
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &p)| p * rho[k - 1 - j])
-                    .sum::<f64>();
-            let den = 1.0
-                - phi_prev
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &p)| p * rho[j + 1])
-                    .sum::<f64>();
+            let num =
+                rho[k] - phi_prev.iter().enumerate().map(|(j, &p)| p * rho[k - 1 - j]).sum::<f64>();
+            let den = 1.0 - phi_prev.iter().enumerate().map(|(j, &p)| p * rho[j + 1]).sum::<f64>();
             if den.abs() < 1e-12 {
                 0.0
             } else {
@@ -125,7 +116,8 @@ mod tests {
 
     #[test]
     fn acf_periodic_peaks_at_period() {
-        let x: Vec<f64> = (0..120).map(|i| (std::f64::consts::TAU * i as f64 / 12.0).sin()).collect();
+        let x: Vec<f64> =
+            (0..120).map(|i| (std::f64::consts::TAU * i as f64 / 12.0).sin()).collect();
         let a = acf(&x, 13);
         assert!(a[12] > 0.8, "annual peak {}", a[12]);
         assert!(a[6] < -0.5, "half-period trough {}", a[6]);

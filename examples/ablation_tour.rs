@@ -15,7 +15,10 @@ fn main() {
 
     let variants = [
         (GaiaVariant::Full, "full model: FFL + TEL kernel group + CAU-based ITA"),
-        (GaiaVariant::NoIta, "CAU replaced by traditional self-attention (no conv locality, no mask)"),
+        (
+            GaiaVariant::NoIta,
+            "CAU replaced by traditional self-attention (no conv locality, no mask)",
+        ),
         (GaiaVariant::NoFfl, "fine-grained fusion replaced by one coarse projection"),
         (GaiaVariant::NoTel, "kernel group {2,4,8,16} replaced by a single {4xC;C} kernel"),
     ];

@@ -33,7 +33,8 @@ fn main() {
         .map(|s| s.orders.iter().map(|&x| (1.0 + x as f32).ln()).collect())
         .collect();
     let candidates = world.mining_candidates(12);
-    let mined = mine_supply_chain(&volumes, &candidates, &MiningConfig { max_lag: 3, threshold: 0.75 });
+    let mined =
+        mine_supply_chain(&volumes, &candidates, &MiningConfig { max_lag: 3, threshold: 0.75 });
     let truth: HashSet<(u32, u32)> =
         world.true_supply_links.iter().map(|l| (l.supplier, l.retailer)).collect();
     let hits = mined.iter().filter(|m| truth.contains(&(m.supplier, m.retailer))).count();

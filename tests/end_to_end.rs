@@ -12,6 +12,11 @@ fn world_cfg() -> WorldConfig {
     WorldConfig { n_shops: 220, seed: 3, ..WorldConfig::default() }
 }
 
+/// Epoch budget: 8 epochs × 220 shops is the slowest test in the suite
+/// (~1 min wall with the workspace's `opt-level = 2` test profile; tens of
+/// minutes unoptimized — don't lower that profile setting). 8 is the minimum
+/// at which Gaia reliably clears the persistence baseline across seeds;
+/// raising it adds wall time without adding signal.
 #[test]
 fn gaia_beats_persistence_after_short_training() {
     let (world, ds) = generate_dataset(world_cfg());

@@ -11,11 +11,8 @@ use std::sync::Arc;
 
 #[test]
 fn mined_relations_recover_true_supply_links() {
-    let (world, _) = generate_dataset(WorldConfig {
-        n_shops: 250,
-        noise_std: 0.04,
-        ..WorldConfig::default()
-    });
+    let (world, _) =
+        generate_dataset(WorldConfig { n_shops: 250, noise_std: 0.04, ..WorldConfig::default() });
     let volumes: Vec<Vec<f32>> = world
         .shops
         .iter()
@@ -76,14 +73,8 @@ fn offline_online_prediction_parity() {
     let mut offline_model = gaia_core::Gaia::new(model_cfg, 0);
     offline_model.restore(&artifact.checkpoint).unwrap();
     let nodes: Vec<usize> = ds.splits.test.iter().take(8).copied().collect();
-    let offline = gaia_core::trainer::predict_nodes(
-        &offline_model,
-        &ds,
-        &world.graph,
-        &nodes,
-        42,
-        2,
-    );
+    let offline =
+        gaia_core::trainer::predict_nodes(&offline_model, &ds, &world.graph, &nodes, 42, 2);
 
     // ...must match the online server's answers exactly (same artifact, same
     // ego seed).

@@ -1,0 +1,268 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::default()` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, benchmark groups,
+//! `bench_with_input` and `Bencher::iter` — over a simple wall-clock
+//! measurement loop (median of per-sample means; no statistics engine).
+//!
+//! CLI behaviour: a positional argument filters benchmarks by substring;
+//! `--test` (passed by `cargo test --benches`) runs each benchmark once for
+//! smoke coverage; other harness flags (`--bench`, `--verbose`, ...) are
+//! accepted and ignored.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from one parameter value, e.g. `group/64`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the configured number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark harness configuration and driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--sample-size" | "--warm-up-time" | "--measurement-time" => {
+                    args.next();
+                }
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 10,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Set the number of measurement samples.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let id = id.to_string();
+        self.run_one(&id, None, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: Option<usize>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if self.test_mode {
+            f(&mut bencher);
+            println!("test {id} ... ok (1 iteration)");
+            return;
+        }
+
+        // Warm-up while calibrating the per-batch iteration count.
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_up_start.elapsed() < self.warm_up {
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / bencher.iters as u32;
+            // Grow batches toward ~10ms so timer overhead stays negligible.
+            let target = Duration::from_millis(10);
+            let next = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24);
+            bencher.iters = next as u64;
+        }
+
+        let samples = sample_size.unwrap_or(self.sample_size).max(2);
+        let budget_per_sample = self.measurement / samples as u32;
+        let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 28);
+        bencher.iters = iters as u64;
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let lo = per_iter_ns[0];
+        let hi = per_iter_ns[per_iter_ns.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi),
+            bencher.iters,
+            samples
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(2));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, f);
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Close the group (printing nothing; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed > Duration::ZERO || count == 17);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

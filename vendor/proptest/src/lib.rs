@@ -1,0 +1,122 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, range and tuple
+//! strategies, `prop::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: case seeds are derived from the test name and case
+//!   index, so every run (local or CI) explores the same inputs. Set
+//!   `PROPTEST_CASES` to override the case count.
+//! * **No shrinking**: a failure reports the exact failing input and its
+//!   seed, and the seed is persisted under `proptest-regressions/` so it is
+//!   replayed first on subsequent runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests over sampled inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)) => {};
+    (@impl ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng| ($( $crate::strategy::Strategy::generate(&($strat), rng), )+),
+                |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

@@ -1,0 +1,180 @@
+//! Case execution, deterministic seeding and regression persistence.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Runner configuration; only `cases` is interpreted.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// RNG handed to strategies. Wraps the vendored deterministic [`StdRng`].
+pub struct TestRng {
+    /// Underlying generator; public so strategies can sample from it.
+    pub rng: StdRng,
+}
+
+/// FNV-1a, used to derive a per-test seed namespace from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn regression_file(test_name: &str) -> PathBuf {
+    PathBuf::from("proptest-regressions").join(format!("{}.txt", test_name.replace("::", "-")))
+}
+
+fn load_regression_seeds(test_name: &str) -> Vec<u64> {
+    std::fs::read_to_string(regression_file(test_name))
+        .map(|text| {
+            text.lines()
+                .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+                .filter_map(|l| l.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn persist_regression_seed(test_name: &str, seed: u64) {
+    let path = regression_file(test_name);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut seeds = load_regression_seeds(test_name);
+    if !seeds.contains(&seed) {
+        seeds.push(seed);
+        let body: String = std::iter::once(
+            "# Seeds of previously failing cases, replayed before new cases. Safe to commit.\n"
+                .to_string(),
+        )
+        .chain(seeds.iter().map(|s| format!("{s}\n")))
+        .collect();
+        let _ = std::fs::write(&path, body);
+    }
+}
+
+/// Execute one property: regression seeds first, then `cases` fresh cases
+/// with seeds derived deterministically from the test name.
+pub fn run<V, G, F>(config: &ProptestConfig, test_name: &str, mut generate: G, mut case: F)
+where
+    V: fmt::Debug + Clone,
+    G: FnMut(&mut TestRng) -> V,
+    F: FnMut(V) -> Result<(), TestCaseError>,
+{
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(config.cases);
+    let namespace = fnv1a(test_name);
+
+    let mut execute = |seed: u64, origin: &str| {
+        let mut rng = TestRng { rng: StdRng::seed_from_u64(seed) };
+        let value = generate(&mut rng);
+        if let Err(err) = case(value.clone()) {
+            persist_regression_seed(test_name, seed);
+            panic!(
+                "proptest case failed ({origin}, seed {seed}): {err}\n\
+                 input: {value:?}\n\
+                 (seed persisted to {})",
+                regression_file(test_name).display()
+            );
+        }
+    };
+
+    for seed in load_regression_seeds(test_name) {
+        execute(seed, "regression replay");
+    }
+    for i in 0..cases {
+        execute(namespace.wrapping_add(i as u64), "fresh case");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_strategies_compose(pairs in prop::collection::vec((0usize..3, 0usize..3), 0..4)) {
+            prop_assert!(pairs.len() < 4);
+            for (a, b) in pairs {
+                prop_assert!(a < 3 && b < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(4),
+                "vendored-proptest-selftest-must-fail",
+                |rng| (crate::strategy::Strategy::generate(&(0usize..100), rng),),
+                |(x,)| {
+                    if x < 1000 {
+                        Err(TestCaseError::fail("always fails"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        assert!(result.is_err(), "failing property must panic");
+        // Clean up the regression file the failing selftest persisted.
+        let _ = std::fs::remove_file(crate::test_runner::regression_file(
+            "vendored-proptest-selftest-must-fail",
+        ));
+    }
+}

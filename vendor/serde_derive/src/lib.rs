@@ -1,0 +1,453 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! The registry is unreachable in this build environment, so there is no
+//! `syn`/`quote`; the item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes — which cover every derive site in the
+//! workspace — are:
+//!
+//! * structs with named fields (serialised as a JSON object),
+//! * tuple structs (1 field: transparent newtype; N fields: array),
+//! * enums, externally tagged like upstream serde: unit variants as the
+//!   variant-name string, newtype variants as `{"Variant": value}`, tuple
+//!   variants as `{"Variant": [..]}` and struct variants as
+//!   `{"Variant": {..}}`.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with N unnamed fields.
+    Tuple { name: String, arity: usize },
+    /// Enum.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip leading outer attributes (`#[...]`, including expanded doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: malformed attribute, found {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { fields: parse_named_fields(&name, g.stream()), name }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Tuple { arity: parse_tuple_arity(g.stream()), name }
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { variants: parse_variants(&name, g.stream()), name }
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Collect field names from `{ a: T, pub b: U, ... }`, skipping types.
+fn parse_named_fields(owner: &str, body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name in `{owner}`, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{owner}.{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant `( T, U, ... )`.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut commas = 0usize;
+    let mut depth = 0i32;
+    let mut last_was_comma = true; // empty stream -> zero fields
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                last_was_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                last_was_comma = true;
+            }
+            _ => last_was_comma = false,
+        }
+    }
+    if last_was_comma {
+        // Trailing comma (or empty): commas == field count.
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Collect the variants of an enum body.
+fn parse_variants(owner: &str, body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name in `{owner}`, found {other:?}"),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(owner, g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the comma.
+        loop {
+            match tokens.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn tuple_binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+/// `#[derive(Serialize)]`: lower into the `serde::Value` tree.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let items: Vec<String> =
+                (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{items}])\n\
+                     }}\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders = tuple_binders(*arity);
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binders}) => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Seq(::std::vec![{items}]))])",
+                                binders = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Map(::std::vec![{entries}]))])",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`: lift back out of the `serde::Value` tree.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Map(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::Error::expected(\"object for {name}\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let items = v.as_seq()\
+                             .ok_or_else(|| ::serde::Error::expected(\"array for {name}\", v))?;\n\
+                         if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms: Vec<String> = Vec::new();
+            let mut tagged_arms: Vec<String> = Vec::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "::std::option::Option::Some(\"{vname}\") => \
+                         return ::std::result::Result::Ok({name}::{vname})"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push(format!(
+                        "\"{vname}\" => \
+                         return ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?))"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => {{\n\
+                                 let items = payload.as_seq().ok_or_else(|| \
+                                     ::serde::Error::expected(\"array for {name}::{vname}\", payload))?;\n\
+                                 if items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong tuple arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({inits}));\n\
+                             }}",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\
+                                         \"{name}::{vname}\", \"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {inits} }})",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "match v.as_str() {{ {arms}, _ => {{}} }}\n",
+                    arms = unit_arms.join(",\n")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Map(entries) = v {{\n\
+                         if entries.len() == 1 {{\n\
+                             let (tag, payload) = &entries[0];\n\
+                             #[allow(unused_variables)]\n\
+                             match tag.as_str() {{ {arms}, _ => {{}} }}\n\
+                         }}\n\
+                     }}\n",
+                    arms = tagged_arms.join(",\n")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {unit_match}\
+                         {tagged_match}\
+                         ::std::result::Result::Err(::serde::Error::expected(\"variant of {name}\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
