@@ -7,6 +7,75 @@ use gaia_nn::ParamStore;
 use gaia_synth::Dataset;
 use gaia_tensor::{Graph, Tensor, VarId};
 
+/// Cache of per-node embedding *values* for inference-only forward passes.
+///
+/// A node's embedding (FFL → TEL output, `E_v: [T, C]`) depends only on the
+/// node's features and the model parameters — not on the ego subgraph it
+/// appears in — so serving workers can reuse it across requests. The cache
+/// is only sound while the model parameters and dataset stay fixed; owners
+/// (e.g. a serving inference context) must call [`EmbedCache::clear`] when
+/// either changes, such as after a model hot swap.
+///
+/// Two layers: an optional **shared** base (an `Arc`'d map produced by
+/// [`EmbedCache::into_shared`], typically a snapshot's publish-time
+/// precompute) and a **local** overlay for entries inserted by this holder.
+/// Cloning a shared cache is an `Arc` bump, not a deep copy of the tensors,
+/// so handing one to every serving worker is cheap.
+#[derive(Clone, Debug, Default)]
+pub struct EmbedCache {
+    shared: Option<std::sync::Arc<std::collections::HashMap<usize, Tensor>>>,
+    local: std::collections::HashMap<usize, Tensor>,
+}
+
+impl EmbedCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached embedding value for `node`, if present.
+    pub fn get(&self, node: usize) -> Option<&Tensor> {
+        self.local.get(&node).or_else(|| self.shared.as_ref().and_then(|s| s.get(&node)))
+    }
+
+    /// Store `node`'s embedding value (goes to the local overlay).
+    pub fn insert(&mut self, node: usize, value: Tensor) {
+        self.local.insert(node, value);
+    }
+
+    /// Number of cached nodes (shared and local combined).
+    pub fn len(&self) -> usize {
+        let shared = self.shared.as_deref();
+        let shared_len = shared.map_or(0, |s| s.len());
+        let overlay_only =
+            self.local.keys().filter(|k| !shared.is_some_and(|s| s.contains_key(k))).count();
+        shared_len + overlay_only
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached embedding, shared and local (required after a
+    /// parameter or dataset change).
+    pub fn clear(&mut self) {
+        self.shared = None;
+        self.local.clear();
+    }
+
+    /// Freeze this cache into its cheaply cloneable shared form: all
+    /// entries move behind one `Arc`, so clones share the tensor storage.
+    pub fn into_shared(mut self) -> Self {
+        let mut map = match self.shared {
+            Some(arc) => std::sync::Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            None => std::collections::HashMap::new(),
+        };
+        map.extend(self.local.drain());
+        Self { shared: Some(std::sync::Arc::new(map)), local: std::collections::HashMap::new() }
+    }
+}
+
 /// A model that predicts a centre shop's future GMV from its ego subgraph.
 pub trait GraphForecaster: Sync {
     /// Display name (Table I row label).
@@ -25,6 +94,21 @@ pub trait GraphForecaster: Sync {
     /// Build the forward pass for the centre node of `ego` on tape `g`,
     /// returning the `[1, horizon]` prediction in model (positive-log) space.
     fn forward_center(&self, g: &mut Graph, ds: &Dataset, ego: &EgoSubgraph) -> VarId;
+
+    /// Inference-only forward pass that may reuse per-node embedding values
+    /// from `cache` (and populate it). Must return bit-identical values to
+    /// [`GraphForecaster::forward_center`]; gradients need not flow through
+    /// cached sub-expressions, so this must never be used for training.
+    /// The default implementation ignores the cache.
+    fn forward_center_cached(
+        &self,
+        g: &mut Graph,
+        ds: &Dataset,
+        ego: &EgoSubgraph,
+        _cache: &mut EmbedCache,
+    ) -> VarId {
+        self.forward_center(g, ds, ego)
+    }
 }
 
 /// Helpers shared by model implementations.

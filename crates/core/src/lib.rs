@@ -28,11 +28,14 @@ pub mod model;
 pub mod tel;
 pub mod trainer;
 
-pub use api::GraphForecaster;
+pub use api::{EmbedCache, GraphForecaster};
 pub use cau::ConvolutionalAttentionUnit;
 pub use config::{GaiaConfig, GaiaVariant};
 pub use ffl::FeatureFusionLayer;
 pub use ita::{AttentionDetail, ItaGcnLayer};
 pub use model::Gaia;
 pub use tel::TemporalEmbeddingLayer;
-pub use trainer::{evaluate_loss, predict_nodes, train, Prediction, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate_loss, predict_nodes, predict_one_with, train, InferenceScratch, Prediction,
+    TrainConfig, TrainReport,
+};

@@ -1,7 +1,7 @@
 //! The full Gaia model (Fig. 2): FFL → TEL → stacked ITA-GCN → prediction
 //! head with residual connection (Eq. 9).
 
-use crate::api::{inputs, GraphForecaster};
+use crate::api::{inputs, EmbedCache, GraphForecaster};
 use crate::config::GaiaConfig;
 use crate::ffl::FeatureFusionLayer;
 use crate::ita::{AttentionDetail, ItaGcnLayer};
@@ -93,8 +93,36 @@ impl Gaia {
         ds: &gaia_synth::Dataset,
         ego: &EgoSubgraph,
     ) -> (Vec<VarId>, Vec<VarId>) {
+        self.propagate_with(g, ds, ego, None)
+    }
+
+    /// [`Gaia::propagate`] with an optional per-node embedding value cache
+    /// (inference only: cached embeddings enter the tape as constants, so no
+    /// gradient flows through them).
+    fn propagate_with(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+        mut cache: Option<&mut EmbedCache>,
+    ) -> (Vec<VarId>, Vec<VarId>) {
         let n = ego.len();
-        let e: Vec<VarId> = (0..n).map(|v| self.embed(g, ds, ego.nodes[v] as usize)).collect();
+        let mut e: Vec<VarId> = Vec::with_capacity(n);
+        for v in 0..n {
+            let node = ego.nodes[v] as usize;
+            let cached = cache.as_ref().and_then(|c| c.get(node)).cloned();
+            let var = match cached {
+                Some(t) => g.constant(t),
+                None => {
+                    let var = self.embed(g, ds, node);
+                    if let Some(c) = cache.as_mut() {
+                        c.insert(node, g.value(var).clone());
+                    }
+                    var
+                }
+            };
+            e.push(var);
+        }
         let l_max = self.layers.len();
         let mut h = e.clone();
         for (li, layer) in self.layers.iter().enumerate() {
@@ -147,6 +175,22 @@ impl Gaia {
         (e, h)
     }
 
+    /// Precompute the FFL → TEL embedding value `E_v` for every node of
+    /// `ds` — the publish-time half of the serving fast path. The returned
+    /// cache makes [`GraphForecaster::forward_center_cached`] skip the
+    /// per-node embedding subgraph entirely; entries are bit-identical to
+    /// what the forward pass computes, so predictions do not change.
+    pub fn precompute_embeddings(&self, ds: &gaia_synth::Dataset) -> EmbedCache {
+        let mut cache = EmbedCache::new();
+        let mut g = Graph::for_inference();
+        for node in 0..ds.n {
+            g.reset();
+            let e = self.embed(&mut g, ds, node);
+            cache.insert(node, g.value(e).clone());
+        }
+        cache
+    }
+
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.ps.num_scalars()
@@ -184,6 +228,17 @@ impl GraphForecaster for Gaia {
 
     fn forward_center(&self, g: &mut Graph, ds: &gaia_synth::Dataset, ego: &EgoSubgraph) -> VarId {
         let (e, h) = self.propagate(g, ds, ego);
+        self.head.forward(g, &self.ps, h[0], e[0])
+    }
+
+    fn forward_center_cached(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+        cache: &mut EmbedCache,
+    ) -> VarId {
+        let (e, h) = self.propagate_with(g, ds, ego, Some(cache));
         self.head.forward(g, &self.ps, h[0], e[0])
     }
 }

@@ -7,7 +7,7 @@
 //! because the parameter store is only read during forward/backward.
 
 use crate::api::GraphForecaster;
-use gaia_graph::{extract_ego, EsellerGraph};
+use gaia_graph::{extract_ego_into, EgoScratch, EsellerGraph};
 use gaia_nn::{Adam, ParamStore};
 use gaia_synth::Dataset;
 use gaia_tensor::{Graph, Tensor};
@@ -93,12 +93,15 @@ fn grad_chunk<M: GraphForecaster + ?Sized>(
     let ego_cfg = model.ego_config();
     let mut grads: Vec<Option<Tensor>> = (0..n_params).map(|_| None).collect();
     let mut loss_sum = 0.0;
+    // One tape and one ego workspace per chunk, reset between centres.
+    let mut g = Graph::new();
+    let mut ego_scratch = EgoScratch::new();
     for &center in centers {
         // Seed per centre so gradients are identical for any thread count.
         let mut rng = StdRng::seed_from_u64(per_node_seed(seed, center));
-        let ego = extract_ego(graph, center, &ego_cfg, &mut rng);
-        let mut g = Graph::new();
-        let pred = model.forward_center(&mut g, ds, &ego);
+        let ego = extract_ego_into(graph, center, &ego_cfg, &mut rng, &mut ego_scratch);
+        g.reset();
+        let pred = model.forward_center(&mut g, ds, ego);
         let target = ds.target_tensor(center);
         let loss = g.mse(pred, &target);
         g.backward(loss);
@@ -230,8 +233,75 @@ pub struct Prediction {
     pub currency: Vec<f64>,
 }
 
+/// Reusable per-worker inference state: a forward-only autodiff tape, an
+/// ego-extraction workspace and a per-node embedding cache. Holding one
+/// `InferenceScratch` per serving worker (or per predict thread) removes the
+/// per-request tape and BFS allocations from the hot path and reuses node
+/// embeddings across requests — see `gaia_serving`'s `InferenceContext`.
+///
+/// The embedding cache is only valid while the model parameters and dataset
+/// stay fixed; call [`InferenceScratch::clear_embed_cache`] when either
+/// changes (e.g. after a model hot swap).
+#[derive(Default)]
+pub struct InferenceScratch {
+    tape: Graph,
+    ego: EgoScratch,
+    cache: crate::api::EmbedCache,
+}
+
+impl InferenceScratch {
+    /// Fresh scratch with a forward-only tape and an empty embedding cache.
+    pub fn new() -> Self {
+        Self { tape: Graph::for_inference(), ego: EgoScratch::new(), cache: Default::default() }
+    }
+
+    /// Drop all cached node embeddings. Required whenever the model
+    /// parameters or the dataset this scratch is used with change.
+    pub fn clear_embed_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Replace the embedding cache wholesale — used by serving workers to
+    /// install a snapshot's publish-time precomputed embeddings (see
+    /// `Gaia::precompute_embeddings`).
+    pub fn install_embed_cache(&mut self, cache: crate::api::EmbedCache) {
+        self.cache = cache;
+    }
+
+    /// Number of nodes with a cached embedding.
+    pub fn cached_embeddings(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Predict one centre reusing `scratch`'s tape, ego workspace and embedding
+/// cache. Ego sampling is seeded per node (thread-count invariant) and
+/// cached embeddings are bit-identical to freshly computed ones, so the
+/// result equals [`predict_nodes`]'s for the same `seed`.
+pub fn predict_one_with<M: GraphForecaster + ?Sized>(
+    model: &M,
+    ds: &Dataset,
+    graph: &EsellerGraph,
+    center: usize,
+    seed: u64,
+    scratch: &mut InferenceScratch,
+) -> Prediction {
+    let ego_cfg = model.ego_config();
+    let mut rng = StdRng::seed_from_u64(per_node_seed(seed, center));
+    let ego = extract_ego_into(graph, center, &ego_cfg, &mut rng, &mut scratch.ego);
+    scratch.tape.reset();
+    let pred = model.forward_center_cached(&mut scratch.tape, ds, ego, &mut scratch.cache);
+    let t = scratch.tape.value(pred);
+    Prediction {
+        node: center,
+        model_space: t.data().to_vec(),
+        currency: ds.denormalize_prediction(t),
+    }
+}
+
 /// Predict a set of centres in parallel. Ego sampling is seeded per node so
-/// predictions are reproducible.
+/// predictions are reproducible for any thread count. Each worker reuses one
+/// [`InferenceScratch`] across its whole chunk.
 pub fn predict_nodes<M: GraphForecaster + ?Sized>(
     model: &M,
     ds: &Dataset,
@@ -247,20 +317,11 @@ pub fn predict_nodes<M: GraphForecaster + ?Sized>(
             .chunks(chunk_size)
             .map(|chunk| {
                 scope.spawn(move || {
-                    let ego_cfg = model.ego_config();
+                    let mut scratch = InferenceScratch::new();
                     chunk
                         .iter()
                         .map(|&center| {
-                            let mut rng = StdRng::seed_from_u64(per_node_seed(seed, center));
-                            let ego = extract_ego(graph, center, &ego_cfg, &mut rng);
-                            let mut g = Graph::new();
-                            let pred = model.forward_center(&mut g, ds, &ego);
-                            let t = g.value(pred);
-                            Prediction {
-                                node: center,
-                                model_space: t.data().to_vec(),
-                                currency: ds.denormalize_prediction(t),
-                            }
+                            predict_one_with(model, ds, graph, center, seed, &mut scratch)
                         })
                         .collect::<Vec<_>>()
                 })
@@ -340,6 +401,20 @@ mod tests {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f32::max);
             assert!(d < 1e-4, "grad mismatch on {}: {d}", p1.name);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_predict_nodes() {
+        let (world, ds, model) = tiny_setup();
+        let nodes: Vec<usize> = ds.splits.test.iter().take(6).copied().collect();
+        let batch = predict_nodes(&model, &ds, &world.graph, &nodes, 42, 3);
+        let mut scratch = InferenceScratch::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let single = predict_one_with(&model, &ds, &world.graph, node, 42, &mut scratch);
+            assert_eq!(single.node, batch[i].node);
+            assert_eq!(single.model_space, batch[i].model_space, "scratch reuse diverged");
+            assert_eq!(single.currency, batch[i].currency);
         }
     }
 

@@ -3,14 +3,14 @@
 //! ego subgraphs around a centre shop, with a fan-out cap so hub nodes do not
 //! explode the tape.
 
-use crate::graph::{EdgeType, EsellerGraph};
+use crate::graph::{EdgeType, EsellerGraph, Neighbor};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A k-hop neighbourhood around one centre node, with node ids relabelled to
 /// a compact local index space (centre is always local id 0).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EgoSubgraph {
     /// Original node ids; `nodes[0]` is the centre.
     pub nodes: Vec<u32>,
@@ -70,58 +70,133 @@ impl Default for EgoConfig {
     }
 }
 
+/// Reusable workspace for repeated ego extraction — the BFS hash map,
+/// frontier queues, the fan-out sample buffer and the output
+/// [`EgoSubgraph`] itself all keep their allocations between calls. One
+/// `EgoScratch` per serving worker removes every per-request allocation of
+/// the extraction step (see [`extract_ego_into`]).
+#[derive(Debug, Default)]
+pub struct EgoScratch {
+    local_of: std::collections::HashMap<u32, u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    sample: Vec<Neighbor>,
+    adj_pool: Vec<Vec<LocalNeighbor>>,
+    ego: EgoSubgraph,
+}
+
+impl EgoScratch {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subgraph produced by the most recent [`extract_ego_into`] call.
+    pub fn ego(&self) -> &EgoSubgraph {
+        &self.ego
+    }
+
+    /// Move the most recent subgraph out of the workspace.
+    pub fn into_ego(self) -> EgoSubgraph {
+        self.ego
+    }
+}
+
 /// Extract the ego subgraph of `center` by breadth-first expansion with
 /// per-node fan-out sampling.
+///
+/// Allocates a fresh workspace per call; hot paths that extract repeatedly
+/// should hold an [`EgoScratch`] and call [`extract_ego_into`] instead.
 pub fn extract_ego<R: Rng>(
     graph: &EsellerGraph,
     center: usize,
     cfg: &EgoConfig,
     rng: &mut R,
 ) -> EgoSubgraph {
-    assert!(center < graph.num_nodes(), "center {center} out of range");
-    let mut local_of = std::collections::HashMap::new();
-    let mut nodes: Vec<u32> = vec![center as u32];
-    let mut hops: Vec<u8> = vec![0];
-    local_of.insert(center as u32, 0u32);
+    let mut scratch = EgoScratch::new();
+    extract_ego_into(graph, center, cfg, rng, &mut scratch);
+    scratch.into_ego()
+}
 
-    let mut frontier = vec![center as u32];
+/// Allocation-free variant of [`extract_ego`]: the BFS state and the output
+/// subgraph live in `scratch` and are reused across calls. The sampling RNG
+/// stream is identical to [`extract_ego`]'s, so results are bit-equal for
+/// the same seed.
+pub fn extract_ego_into<'s, R: Rng>(
+    graph: &EsellerGraph,
+    center: usize,
+    cfg: &EgoConfig,
+    rng: &mut R,
+    scratch: &'s mut EgoScratch,
+) -> &'s EgoSubgraph {
+    assert!(center < graph.num_nodes(), "center {center} out of range");
+    scratch.local_of.clear();
+    scratch.frontier.clear();
+    scratch.next.clear();
+    scratch.ego.nodes.clear();
+    scratch.ego.hops.clear();
+
+    scratch.ego.nodes.push(center as u32);
+    scratch.ego.hops.push(0);
+    scratch.local_of.insert(center as u32, 0u32);
+    scratch.frontier.push(center as u32);
+
     for hop in 1..=cfg.hops {
-        let mut next = Vec::new();
-        for &u in &frontier {
+        for i in 0..scratch.frontier.len() {
+            let u = scratch.frontier[i];
             let nbs = graph.neighbors(u as usize);
-            let chosen: Vec<_> = if nbs.len() > cfg.fanout {
-                let mut sample: Vec<_> = nbs.to_vec();
-                sample.shuffle(rng);
-                sample.truncate(cfg.fanout);
-                sample
-            } else {
-                nbs.to_vec()
-            };
-            for nb in chosen {
-                if let std::collections::hash_map::Entry::Vacant(slot) = local_of.entry(nb.node) {
-                    slot.insert(nodes.len() as u32);
-                    nodes.push(nb.node);
-                    hops.push(hop as u8);
-                    next.push(nb.node);
+            scratch.sample.clear();
+            scratch.sample.extend_from_slice(nbs);
+            if nbs.len() > cfg.fanout {
+                scratch.sample.shuffle(rng);
+                scratch.sample.truncate(cfg.fanout);
+            }
+            for nb in &scratch.sample {
+                if let std::collections::hash_map::Entry::Vacant(slot) =
+                    scratch.local_of.entry(nb.node)
+                {
+                    slot.insert(scratch.ego.nodes.len() as u32);
+                    scratch.ego.nodes.push(nb.node);
+                    scratch.ego.hops.push(hop as u8);
+                    scratch.next.push(nb.node);
                 }
             }
         }
-        frontier = next;
-        if frontier.is_empty() {
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        scratch.next.clear();
+        if scratch.frontier.is_empty() {
             break;
         }
     }
 
+    // Resize the adjacency list to the node count, recycling inner vectors
+    // (and their capacity) through the pool.
+    let n = scratch.ego.nodes.len();
+    for v in scratch.ego.adj.iter_mut() {
+        v.clear();
+    }
+    if scratch.ego.adj.len() > n {
+        let extra = scratch.ego.adj.drain(n..);
+        scratch.adj_pool.extend(extra);
+    }
+    while scratch.ego.adj.len() < n {
+        scratch.ego.adj.push(scratch.adj_pool.pop().unwrap_or_default());
+    }
+
     // Induce adjacency on the selected node set.
-    let mut adj = vec![Vec::new(); nodes.len()];
-    for (local, &orig) in nodes.iter().enumerate() {
+    for local in 0..n {
+        let orig = scratch.ego.nodes[local];
         for nb in graph.neighbors(orig as usize) {
-            if let Some(&other) = local_of.get(&nb.node) {
-                adj[local].push(LocalNeighbor { local: other, ty: nb.ty, outgoing: nb.outgoing });
+            if let Some(&other) = scratch.local_of.get(&nb.node) {
+                scratch.ego.adj[local].push(LocalNeighbor {
+                    local: other,
+                    ty: nb.ty,
+                    outgoing: nb.outgoing,
+                });
             }
         }
     }
-    EgoSubgraph { nodes, adj, hops }
+    &scratch.ego
 }
 
 #[cfg(test)]
@@ -185,6 +260,42 @@ mod tests {
         let b =
             extract_ego(&g, 0, &EgoConfig { hops: 1, fanout: 5 }, &mut StdRng::seed_from_u64(9));
         assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_extraction() {
+        let edges: Vec<Edge> =
+            (1..21).map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner }).collect();
+        let g = EsellerGraph::from_edges(21, &edges);
+        let cfg = EgoConfig { hops: 2, fanout: 5 };
+        let mut scratch = EgoScratch::new();
+        // Reuse the same workspace over varying centres; every extraction
+        // must match the allocating path bit for bit (same RNG stream).
+        for center in [0usize, 7, 0, 13, 2] {
+            let fresh = extract_ego(&g, center, &cfg, &mut StdRng::seed_from_u64(99));
+            let reused =
+                extract_ego_into(&g, center, &cfg, &mut StdRng::seed_from_u64(99), &mut scratch);
+            assert_eq!(fresh.nodes, reused.nodes);
+            assert_eq!(fresh.hops, reused.hops);
+            assert_eq!(fresh.adj, reused.adj);
+        }
+    }
+
+    #[test]
+    fn scratch_shrinks_correctly_after_large_extraction() {
+        // Big star first, then a singleton: the reused adjacency list must
+        // shrink to exactly one entry.
+        let edges: Vec<Edge> =
+            (1..30).map(|i| Edge { src: 0, dst: i as u32, ty: EdgeType::SameOwner }).collect();
+        let g = EsellerGraph::from_edges(31, &edges);
+        let mut scratch = EgoScratch::new();
+        let cfg = EgoConfig { hops: 1, fanout: 64 };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(extract_ego_into(&g, 0, &cfg, &mut rng, &mut scratch).len(), 30);
+        let single = extract_ego_into(&g, 30, &cfg, &mut rng, &mut scratch);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.adj.len(), 1);
+        assert!(single.adj[0].is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub mod graph;
 pub mod mining;
 pub mod stats;
 
-pub use ego::{extract_ego, EgoConfig, EgoSubgraph, LocalNeighbor};
+pub use ego::{extract_ego, extract_ego_into, EgoConfig, EgoScratch, EgoSubgraph, LocalNeighbor};
 pub use graph::{Edge, EdgeType, EsellerGraph, Neighbor};
 pub use mining::{
     lagged_correlation, mine_supply_chain, relations_to_edges, MinedRelation, MiningConfig,

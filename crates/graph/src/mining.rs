@@ -1,7 +1,8 @@
 //! Supply-chain relation mining from transaction logs.
 //!
 //! The paper constructs supply-chain edges by graph-based mining over
-//! payment flows ([6], [30]). We exercise the same extraction path on
+//! payment flows (refs. \[6\], \[30\] of the paper). We exercise the same
+//! extraction path on
 //! synthetic order logs: candidate supplier→retailer pairs whose monthly
 //! order-volume series show a strong *lagged* cross-correlation (the supplier
 //! leading) are emitted as [`EdgeType::SupplyChain`] edges.

@@ -2,32 +2,65 @@
 //! real-time GMV forecasts for (possibly new-coming) e-sellers from their
 //! ego subgraph, with hot model swaps when the offline pipeline publishes.
 //!
-//! Concurrency model: the model lives behind a `parking_lot::RwLock`;
-//! requests fan out over a crossbeam channel to a worker pool, matching the
-//! paper's observation that inference scales linearly with the number of
-//! clients.
+//! Concurrency model: the published model lives in an epoch-snapshot cell
+//! ([`crate::swap::Swap`]); a publish is one atomic install and readers
+//! revalidate a cached `Arc` with a single atomic load per request, so the
+//! request path never contends on a lock. Each worker owns an
+//! [`InferenceContext`] whose scratch buffers (forward-only tape, ego-BFS
+//! workspace) are reused across requests, matching the paper's observation
+//! that inference scales linearly with the number of clients.
 
 use crate::offline::ModelArtifact;
-use gaia_core::trainer::{predict_nodes, Prediction};
-use gaia_core::Gaia;
+use crate::swap::{Swap, SwapReader};
+use gaia_core::trainer::{predict_one_with, InferenceScratch, Prediction};
+use gaia_core::{EmbedCache, Gaia};
 use gaia_graph::EsellerGraph;
 use gaia_synth::Dataset;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// One published model generation: the version, the restored parameters and
+/// the publish-time precomputed node embeddings, swapped as a single unit so
+/// readers can never observe a version/parameter/embedding mismatch.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// Version of the [`ModelArtifact`] this snapshot was built from.
+    pub version: u64,
+    /// The restored model.
+    pub model: Gaia,
+    /// `E_v` for every node of the serving dataset, computed once at
+    /// publish: workers install this read-only cache instead of each paying
+    /// their own embedding warm-up.
+    pub embeddings: EmbedCache,
+}
+
+impl ModelSnapshot {
+    fn from_artifact(artifact: &ModelArtifact, ds: &Dataset) -> Self {
+        let mut model = Gaia::new(artifact.config.clone(), 0);
+        model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
+        // Frozen/shared form: installing into a worker context is an Arc
+        // bump, not a deep copy of every node's tensor.
+        let embeddings = model.precompute_embeddings(ds).into_shared();
+        Self { version: artifact.version, model, embeddings }
+    }
+}
 
 /// Online model server holding the published Gaia model plus the feature /
 /// graph stores needed to serve predictions.
 pub struct ModelServer {
-    model: RwLock<Gaia>,
-    version: AtomicU64,
+    snapshot: Swap<ModelSnapshot>,
     graph: EsellerGraph,
     ds: Dataset,
     seed: u64,
 }
 
-/// Latency/throughput measurement returned by [`ModelServer::predict_many`].
+/// Latency/throughput measurement returned by the batch serving paths
+/// ([`ModelServer::predict_many`] and [`ModelServer::serve_stream`]).
+///
+/// Latencies are measured per request **from enqueue** (queue wait plus
+/// service time), so percentile figures reflect what a client would see,
+/// not just worker compute time.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Number of predictions served.
@@ -36,86 +69,197 @@ pub struct ServeStats {
     pub seconds: f64,
     /// Throughput in predictions per second.
     pub per_second: f64,
+    /// Median per-request latency in seconds, from enqueue to completion.
+    pub latency_p50: f64,
+    /// 95th-percentile per-request latency in seconds.
+    pub latency_p95: f64,
+    /// 99th-percentile per-request latency in seconds.
+    pub latency_p99: f64,
+    /// Requests served by each worker. Length is the number of workers
+    /// actually spawned: the requested count clamped to the request count
+    /// (minimum 1), so small batches report fewer entries than asked for.
+    /// A heavily skewed distribution indicates a scheduling problem.
+    pub per_worker: Vec<usize>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; `p` in `[0, 1]`.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Per-worker serving state: a cached snapshot handle (one atomic load per
+/// request to revalidate) plus reusable inference scratch buffers. Create
+/// one per worker thread with [`ModelServer::inference_context`]; the
+/// context is deliberately `!Sync` — it is owned state, never shared.
+pub struct InferenceContext<'srv> {
+    server: &'srv ModelServer,
+    reader: SwapReader<'srv, ModelSnapshot>,
+    scratch: InferenceScratch,
+    served: usize,
+    /// Snapshot epoch the scratch's embedding cache was built against.
+    cache_epoch: u64,
+}
+
+impl InferenceContext<'_> {
+    /// Serve one prediction on the current snapshot, reusing this context's
+    /// scratch buffers. Picks up a newly published model automatically; a
+    /// hot swap invalidates the context's cached node embeddings.
+    pub fn predict(&mut self, shop: usize) -> Prediction {
+        let (snap, epoch) = self.reader.get_with_epoch();
+        if epoch != self.cache_epoch {
+            // New snapshot: drop stale embeddings and install the
+            // publish-time precomputed ones from the snapshot itself.
+            self.scratch.install_embed_cache(snap.embeddings.clone());
+            self.cache_epoch = epoch;
+        }
+        let pred = predict_one_with(
+            &snap.model,
+            &self.server.ds,
+            &self.server.graph,
+            shop,
+            self.server.seed,
+            &mut self.scratch,
+        );
+        self.served += 1;
+        pred
+    }
+
+    /// Number of node embeddings currently cached for the served snapshot.
+    pub fn cached_embeddings(&self) -> usize {
+        self.scratch.cached_embeddings()
+    }
+
+    /// Version of the snapshot this context currently serves from.
+    pub fn model_version(&mut self) -> u64 {
+        self.reader.get().version
+    }
+
+    /// Number of requests this context has served.
+    pub fn served(&self) -> usize {
+        self.served
+    }
 }
 
 impl ModelServer {
-    /// Boot a server from a published artifact and the online stores.
+    /// Boot a server from a published artifact and the online stores. Node
+    /// embeddings for the whole dataset are precomputed into the snapshot.
     pub fn new(artifact: &ModelArtifact, graph: EsellerGraph, ds: Dataset, seed: u64) -> Self {
-        let mut model = Gaia::new(artifact.config.clone(), 0);
-        model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
-        Self {
-            model: RwLock::new(model),
-            version: AtomicU64::new(artifact.version),
-            graph,
-            ds,
-            seed,
-        }
+        let snapshot = Swap::new(Arc::new(ModelSnapshot::from_artifact(artifact, &ds)));
+        Self { snapshot, graph, ds, seed }
     }
 
-    /// Hot-swap to a newer published model (no downtime: readers finish on
-    /// the old parameters, new requests see the new ones).
+    /// Hot-swap to a newer published model (no downtime: the install is one
+    /// atomic store; readers finish in-flight requests on the old snapshot
+    /// and pick up the new one on their next request). Embedding precompute
+    /// happens here, off the request path, before the swap is made visible.
     pub fn publish(&self, artifact: &ModelArtifact) {
-        let mut model = Gaia::new(artifact.config.clone(), 0);
-        model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
-        *self.model.write() = model;
-        self.version.store(artifact.version, Ordering::SeqCst);
+        self.snapshot.store(Arc::new(ModelSnapshot::from_artifact(artifact, &self.ds)));
     }
 
     /// Currently served model version.
     pub fn version(&self) -> u64 {
-        self.version.load(Ordering::SeqCst)
+        self.snapshot.load_full().version
+    }
+
+    /// Clone the currently published snapshot (version + parameters as one
+    /// consistent unit).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.snapshot.load_full()
+    }
+
+    /// Number of model publishes since boot (epoch of the snapshot cell).
+    pub fn publishes(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Create a serving context for one worker thread: a cached snapshot
+    /// handle plus reusable scratch buffers.
+    pub fn inference_context(&self) -> InferenceContext<'_> {
+        let mut reader = self.snapshot.reader();
+        let (snap, cache_epoch) = reader.get_with_epoch();
+        let mut scratch = InferenceScratch::new();
+        scratch.install_embed_cache(snap.embeddings.clone());
+        InferenceContext { server: self, reader, scratch, served: 0, cache_epoch }
     }
 
     /// Predict one shop (real-time path for a new-coming e-seller: its ego
-    /// subgraph is extracted from the online graph store on the fly).
+    /// subgraph is extracted from the online graph store on the fly). One-off
+    /// convenience — request loops should hold an [`InferenceContext`].
     pub fn predict_one(&self, shop: usize) -> Prediction {
-        let model = self.model.read();
-        predict_nodes(&*model, &self.ds, &self.graph, &[shop], self.seed, 1)
-            .pop()
-            .expect("one prediction")
+        self.inference_context().predict(shop)
     }
 
-    /// Predict a batch of shops with `workers` threads, returning the
-    /// predictions and serving statistics.
-    pub fn predict_many(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
-        let t0 = std::time::Instant::now();
-        let model = self.model.read();
-        let preds = predict_nodes(&*model, &self.ds, &self.graph, shops, self.seed, workers);
-        let seconds = t0.elapsed().as_secs_f64();
+    /// The shared worker-pool request path: fan `shops` out over `workers`
+    /// threads through a channel, each worker serving through its own
+    /// [`InferenceContext`]. Returns predictions in request order plus
+    /// latency/throughput statistics.
+    fn serve_batch(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
+        let workers = workers.clamp(1, shops.len().max(1));
+        let (req_tx, req_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
+        let enqueue = Instant::now();
+        for pair in shops.iter().copied().enumerate() {
+            req_tx.send(pair).expect("queue open");
+        }
+        drop(req_tx);
+        let worker_results: Vec<Vec<(usize, Prediction, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = req_rx.clone();
+                    scope.spawn(move || {
+                        let mut ctx = self.inference_context();
+                        let mut done = Vec::new();
+                        while let Ok((slot, shop)) = rx.recv() {
+                            let pred = ctx.predict(shop);
+                            done.push((slot, pred, enqueue.elapsed().as_secs_f64()));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("serve worker panicked")).collect()
+        });
+        let seconds = enqueue.elapsed().as_secs_f64();
+
+        let mut preds: Vec<Option<Prediction>> = (0..shops.len()).map(|_| None).collect();
+        let mut latencies = Vec::with_capacity(shops.len());
+        let mut per_worker = Vec::with_capacity(workers);
+        for done in worker_results {
+            per_worker.push(done.len());
+            for (slot, pred, latency) in done {
+                latencies.push(latency);
+                preds[slot] = Some(pred);
+            }
+        }
+        let preds: Vec<Prediction> =
+            preds.into_iter().map(|p| p.expect("every request served")).collect();
+        latencies.sort_by(f64::total_cmp);
         let stats = ServeStats {
             requests: shops.len(),
             seconds,
             per_second: shops.len() as f64 / seconds.max(1e-9),
+            latency_p50: percentile(&latencies, 0.50),
+            latency_p95: percentile(&latencies, 0.95),
+            latency_p99: percentile(&latencies, 0.99),
+            per_worker,
         };
         (preds, stats)
     }
 
-    /// Serve a request stream through a crossbeam channel worker pool —
-    /// the shape of the production request path. Results arrive unordered.
-    pub fn serve_stream(self: &Arc<Self>, shops: Vec<usize>, workers: usize) -> Vec<Prediction> {
-        let (req_tx, req_rx) = crossbeam::channel::unbounded::<usize>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<Prediction>();
-        for shop in shops {
-            req_tx.send(shop).expect("queue open");
-        }
-        drop(req_tx);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.max(1) {
-                let rx = req_rx.clone();
-                let tx = res_tx.clone();
-                let server = Arc::clone(self);
-                scope.spawn(move || {
-                    while let Ok(shop) = rx.recv() {
-                        let pred = server.predict_one(shop);
-                        if tx.send(pred).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(res_tx);
-            res_rx.iter().collect()
-        })
+    /// Predict a batch of shops with `workers` threads, returning the
+    /// predictions (in request order) and serving statistics.
+    pub fn predict_many(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
+        self.serve_batch(shops, workers)
+    }
+
+    /// Serve a request stream through a channel worker pool — the shape of
+    /// the production request path. Returns predictions in request order and
+    /// per-request latency statistics measured from enqueue.
+    pub fn serve_stream(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
+        self.serve_batch(shops, workers)
     }
 
     /// Measure inference time as a function of client count — the Section VI
@@ -189,38 +333,100 @@ mod tests {
         let (batch, stats) = server.predict_many(&[3], 1);
         assert_eq!(single.currency, batch[0].currency);
         assert_eq!(stats.requests, 1);
+        assert_eq!(stats.per_worker, vec![1]);
     }
 
     #[test]
     fn hot_swap_changes_version_and_parameters() {
         let (server, mut pipeline, world) = booted_server();
         assert_eq!(server.version(), 1);
+        assert_eq!(server.publishes(), 0);
         let before = server.predict_one(5);
         let (artifact2, _, _) = pipeline.execute_month(&world);
         server.publish(&artifact2);
         assert_eq!(server.version(), 2);
+        assert_eq!(server.publishes(), 1);
         let after = server.predict_one(5);
         // Different seed/version training should change some output.
         assert_ne!(before.model_space, after.model_space);
     }
 
     #[test]
-    fn stream_serving_returns_all_requests() {
+    fn context_survives_hot_swap() {
+        let (server, mut pipeline, world) = booted_server();
+        let mut ctx = server.inference_context();
+        assert_eq!(ctx.model_version(), 1);
+        let before = ctx.predict(5);
+        let (artifact2, _, _) = pipeline.execute_month(&world);
+        server.publish(&artifact2);
+        // The same context must pick up the new snapshot on its next call.
+        assert_eq!(ctx.model_version(), 2);
+        let after = ctx.predict(5);
+        assert_ne!(before.model_space, after.model_space);
+        assert_eq!(ctx.served(), 2);
+    }
+
+    #[test]
+    fn precomputed_embeddings_cover_dataset_and_swap_replaces_them() {
+        let (server, mut pipeline, world) = booted_server();
+        let mut ctx = server.inference_context();
+        // The snapshot's publish-time embeddings are installed up front.
+        assert_eq!(ctx.cached_embeddings(), server.ds.n, "cache must cover every node");
+        let first = ctx.predict(3);
+        // Serving from the precomputed cache must equal a from-scratch
+        // forward pass (no cache ever sees this tape).
+        let mut bare = InferenceScratch::new();
+        let uncached =
+            predict_one_with(&server.snapshot().model, &server.ds, &server.graph, 3, 42, &mut bare);
+        assert_eq!(first.model_space, uncached.model_space);
+        // A hot swap replaces the embeddings (stale ones would silently
+        // serve the old model's parameters).
+        let (artifact2, _, _) = pipeline.execute_month(&world);
+        server.publish(&artifact2);
+        let swapped = ctx.predict(3);
+        assert_ne!(first.model_space, swapped.model_space);
+        assert_eq!(ctx.cached_embeddings(), server.ds.n);
+        // And the served answer under the new model matches a fresh context.
+        let fresh = server.predict_one(3);
+        assert_eq!(swapped.model_space, fresh.model_space);
+    }
+
+    #[test]
+    fn stream_serving_returns_all_requests_in_order() {
         let (server, _, _) = booted_server();
         let shops: Vec<usize> = (0..20).collect();
-        let preds = server.serve_stream(shops.clone(), 4);
+        let (preds, stats) = server.serve_stream(&shops, 4);
         assert_eq!(preds.len(), 20);
-        let mut seen: Vec<usize> = preds.iter().map(|p| p.node).collect();
-        seen.sort_unstable();
-        assert_eq!(seen, shops);
+        let seen: Vec<usize> = preds.iter().map(|p| p.node).collect();
+        assert_eq!(seen, shops, "results must come back in request order");
+        // The stream path reports full stats now.
+        assert_eq!(stats.requests, 20);
+        assert_eq!(stats.per_worker.len(), 4);
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 20);
+        assert!(stats.latency_p50 > 0.0);
+        assert!(stats.latency_p50 <= stats.latency_p95);
+        assert!(stats.latency_p95 <= stats.latency_p99);
+        assert!(stats.latency_p99 <= stats.seconds * 1.001);
     }
 
     #[test]
     fn stream_matches_direct_prediction() {
         let (server, _, _) = booted_server();
         let direct = server.predict_one(7);
-        let stream = server.serve_stream(vec![7], 2);
+        let (stream, _) = server.serve_stream(&[7], 2);
         assert_eq!(stream[0].currency, direct.currency);
+    }
+
+    #[test]
+    fn predictions_identical_for_any_worker_count() {
+        let (server, _, _) = booted_server();
+        let shops: Vec<usize> = (0..12).collect();
+        let (one, _) = server.predict_many(&shops, 1);
+        let (four, _) = server.predict_many(&shops, 4);
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.model_space, b.model_space);
+        }
     }
 
     #[test]
@@ -237,5 +443,67 @@ mod tests {
         let curve = server.scaling_curve(&[10, 40], 2);
         assert_eq!(curve.len(), 2);
         assert!(curve[1].1 >= curve[0].1 * 0.5, "time should roughly grow: {curve:?}");
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_stats() {
+        let (server, _, _) = booted_server();
+        let (preds, stats) = server.predict_many(&[], 4);
+        assert!(preds.is_empty());
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.latency_p99, 0.0);
+    }
+
+    /// The ISSUE's hot-swap-under-load contract: readers hammer the serving
+    /// path while the offline pipeline publishes in a loop. Every prediction
+    /// must be attributable to a published generation — never a mixture —
+    /// and the versions a context observes must be monotone.
+    #[test]
+    fn hot_swap_under_load_never_tears() {
+        let (server, mut pipeline, world) = booted_server();
+        // Precompute the expected answer for shop 5 under each generation.
+        let mut artifacts = vec![];
+        let mut expected = vec![server.predict_one(5).model_space.clone()];
+        for _ in 0..3 {
+            let (a, _, _) = pipeline.execute_month(&world);
+            let snap = ModelSnapshot::from_artifact(&a, &server.ds);
+            let mut scratch = InferenceScratch::new();
+            expected.push(
+                predict_one_with(&snap.model, &server.ds, &server.graph, 5, 42, &mut scratch)
+                    .model_space
+                    .clone(),
+            );
+            artifacts.push(a);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let server = &server;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut ctx = server.inference_context();
+                    let mut last_version = 0;
+                    for _ in 0..60 {
+                        let version = ctx.model_version();
+                        assert!(version >= last_version, "version went backwards");
+                        last_version = version;
+                        let pred = ctx.predict(5);
+                        // The prediction must exactly match ONE generation —
+                        // a torn read (mixed parameters) would match none.
+                        assert!(
+                            expected.contains(&pred.model_space),
+                            "prediction matches no published generation"
+                        );
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for a in &artifacts {
+                    server.publish(a);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(server.version(), 4);
+        assert_eq!(server.publishes(), 3);
     }
 }

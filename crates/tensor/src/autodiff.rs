@@ -25,19 +25,49 @@ struct Node {
     backward: Option<BackwardFn>,
 }
 
-/// The autodiff tape. Create one per forward/backward pass.
-#[derive(Default)]
+/// The autodiff tape. Create one per forward/backward pass, or reuse one
+/// across passes with [`Graph::reset`] to keep its allocations warm.
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
     /// `(external key, leaf var)` pairs registered through [`Graph::bind_param`].
     bindings: Vec<(usize, VarId)>,
+    /// When false the tape skips recording parents and backward closures —
+    /// forward-only inference tapes pay no bookkeeping cost.
+    record: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self { nodes: Vec::new(), grads: Vec::new(), bindings: Vec::new(), record: true }
+    }
 }
 
 impl Graph {
     /// Empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty forward-only tape: operations still compute values but record no
+    /// parents or backward closures, so [`Graph::backward`] is unavailable.
+    /// This is the serving hot path's tape — cheaper per op and fully
+    /// reusable via [`Graph::reset`].
+    pub fn for_inference() -> Self {
+        Self { record: false, ..Self::default() }
+    }
+
+    /// True when this tape records backward closures.
+    pub fn records_grads(&self) -> bool {
+        self.record
+    }
+
+    /// Clear the tape for a fresh forward pass while keeping the node/grad
+    /// vector allocations. The record/inference mode is preserved.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
+        self.bindings.clear();
     }
 
     /// Number of nodes currently on the tape.
@@ -54,6 +84,8 @@ impl Graph {
         for &p in &parents {
             debug_assert!(p < self.nodes.len(), "parent {p} out of range");
         }
+        let (parents, backward) =
+            if self.record { (parents, backward) } else { (Vec::new(), None) };
         self.nodes.push(Node { value, parents, backward });
         self.nodes.len() - 1
     }
@@ -557,7 +589,12 @@ impl Graph {
 
     /// Run reverse-mode differentiation from `root` (seeded with ones).
     /// Typically `root` is a scalar loss.
+    ///
+    /// # Panics
+    /// Panics on a tape built with [`Graph::for_inference`] — forward-only
+    /// tapes record no backward closures.
     pub fn backward(&mut self, root: VarId) {
+        assert!(self.record, "Graph::backward called on a forward-only inference tape");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[root] = Some(Tensor::ones(self.nodes[root].value.shape().to_vec()));
         for id in (0..=root).rev() {
@@ -964,6 +1001,56 @@ mod tests {
             &inputs,
             2e-2,
         );
+    }
+
+    /// A forward-only tape computes exactly the same values as a recording
+    /// tape, and a reused (reset) tape matches a fresh one bit for bit.
+    #[test]
+    fn inference_tape_matches_recording_tape_and_survives_reset() {
+        let inputs = rand_inputs(&[vec![4, 3], vec![3, 2]], 77);
+        let run = |g: &mut Graph| {
+            let a = g.constant(inputs[0].clone());
+            let b = g.constant(inputs[1].clone());
+            let m = g.matmul(a, b);
+            let s = g.sigmoid(m);
+            let out = g.mean_all(s);
+            g.value(out).data().to_vec()
+        };
+        let mut recording = Graph::new();
+        let expected = run(&mut recording);
+        let mut inference = Graph::for_inference();
+        assert!(!inference.records_grads());
+        assert_eq!(run(&mut inference), expected);
+        // Reset keeps the mode and produces identical values on reuse.
+        for _ in 0..3 {
+            inference.reset();
+            assert!(inference.is_empty());
+            assert_eq!(run(&mut inference), expected);
+            assert!(!inference.records_grads());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward-only")]
+    fn backward_panics_on_inference_tape() {
+        let mut g = Graph::for_inference();
+        let x = g.constant(Tensor::scalar(1.0));
+        let y = g.sigmoid(x);
+        g.backward(y);
+    }
+
+    #[test]
+    fn reset_recording_tape_gives_fresh_gradients() {
+        let mut g = Graph::new();
+        for _ in 0..2 {
+            g.reset();
+            let v = g.bind_param(0, Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+            let sq = g.mul(v, v);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            let grads: Vec<f32> = g.param_grads().flat_map(|(_, t)| t.data().to_vec()).collect();
+            assert_eq!(grads, vec![2.0, 4.0]);
+        }
     }
 
     /// The same composite tape is bit-deterministic: identical seeds give

@@ -29,8 +29,15 @@ fn main() {
     // --- Online: boot the server and serve newcomers ----------------------
     let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds.clone(), 5));
     let newcomers: Vec<usize> = ds.splits.test.iter().take(40).copied().collect();
-    let preds = server.serve_stream(newcomers.clone(), 4);
-    println!("served {} real-time predictions through the worker pool", preds.len());
+    let (preds, stats) = server.serve_stream(&newcomers, 4);
+    println!(
+        "served {} real-time predictions through the worker pool \
+         ({:.0}/s, p50 {:.2}ms, p99 {:.2}ms from enqueue)",
+        preds.len(),
+        stats.per_second,
+        stats.latency_p50 * 1e3,
+        stats.latency_p99 * 1e3
+    );
     let p = &preds[0];
     println!(
         "  e.g. shop {}: next-3-month GMV forecast = {:?}",

@@ -84,3 +84,75 @@ fn offline_online_prediction_parity() {
         assert_eq!(o.model_space, online.model_space, "parity broke for shop {}", o.node);
     }
 }
+
+/// End-to-end hot-swap-under-load: worker threads serve a stream through
+/// per-worker inference contexts while the offline pipeline publishes new
+/// generations. Every answer must match exactly one published generation
+/// (version and parameters are swapped as one snapshot — a torn read would
+/// match none), and the stream path must report coherent latency stats.
+#[test]
+fn serving_survives_hot_swap_under_stream_load() {
+    let (world, ds0) = generate_dataset(WorldConfig::tiny());
+    let mut model_cfg = GaiaConfig::new(ds0.t, ds0.horizon, ds0.d_t, ds0.d_s);
+    model_cfg.channels = 8;
+    model_cfg.kernel_groups = 2;
+    model_cfg.layers = 1;
+    model_cfg.ego = EgoConfig { hops: 1, fanout: 3 };
+    let tc = TrainConfig { epochs: 1, batch_size: 16, verbose: false, ..TrainConfig::default() };
+    let mut pipeline = OfflinePipeline::new(model_cfg, tc, 9);
+    let (artifact, ds, _) = pipeline.execute_month(&world);
+    let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
+
+    // Expected per-generation answers for a probe shop: generation 1 from
+    // the live server, generation 2 from an offline restore of artifact 2.
+    let probe = 4usize;
+    let (artifact2, ds2, _) = pipeline.execute_month(&world);
+    let mut gen2_model = gaia_core::Gaia::new(artifact2.config.clone(), 0);
+    gen2_model.restore(&artifact2.checkpoint).unwrap();
+    let expected = [
+        server.predict_one(probe).model_space.clone(),
+        gaia_core::trainer::predict_nodes(&gen2_model, &ds2, &world.graph, &[probe], 42, 1)
+            .pop()
+            .unwrap()
+            .model_space,
+    ];
+    assert_ne!(expected[0], expected[1], "publish must change the served parameters");
+
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        let expected_ref = &expected;
+        let publisher = scope.spawn(move || {
+            // Let readers start on generation 1, then swap mid-load.
+            std::thread::yield_now();
+            server_ref.publish(&artifact2);
+        });
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut ctx = server_ref.inference_context();
+                for _ in 0..40 {
+                    let pred = ctx.predict(probe);
+                    assert!(
+                        expected_ref.contains(&pred.model_space),
+                        "answer matches no published generation (torn snapshot?)"
+                    );
+                }
+            });
+        }
+        publisher.join().unwrap();
+    });
+    assert_eq!(server.version(), 2);
+
+    // After the dust settles, a fresh context serves generation 2 and the
+    // stream path reports per-request latency stats measured from enqueue.
+    let shops: Vec<usize> = (0..30).map(|i| i % 10).collect();
+    let (preds, stats) = server.serve_stream(&shops, 3);
+    assert_eq!(preds.len(), shops.len());
+    assert_eq!(preds[probe].node, probe, "results come back in request order");
+    assert_eq!(preds[probe].model_space, expected[1], "served answer matches generation 2");
+    assert_eq!(stats.requests, 30);
+    assert_eq!(stats.per_worker.len(), 3);
+    assert_eq!(stats.per_worker.iter().sum::<usize>(), 30);
+    assert!(stats.latency_p50 > 0.0 && stats.latency_p50 <= stats.latency_p95);
+    assert!(stats.latency_p95 <= stats.latency_p99 && stats.latency_p99 <= stats.seconds * 1.001);
+    assert!(stats.per_second > 0.0);
+}
