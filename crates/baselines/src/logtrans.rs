@@ -125,7 +125,8 @@ pub struct LogTrans {
     static_proj: Linear,
     blocks: Vec<ConvAttnBlock>,
     head: TemporalHead,
-    mask: Tensor,
+    /// Shared causal mask from the per-length cache.
+    mask: std::sync::Arc<Tensor>,
 }
 
 impl LogTrans {

@@ -202,7 +202,8 @@ pub struct Gman {
     encoder: InputEncoder,
     blocks: Vec<GmanBlock>,
     head: TemporalHead,
-    mask: Tensor,
+    /// Shared causal mask from the per-length cache.
+    mask: std::sync::Arc<Tensor>,
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]

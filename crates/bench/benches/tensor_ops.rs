@@ -1,8 +1,13 @@
 //! Substrate micro-benchmarks: matmul and conv1d at the shapes the models
-//! actually use ([T, C] = [24, 32]), plus the f32 kernel scaling ablation.
+//! actually use ([T, C] = [24, 32]), plus the f32 kernel scaling ablation
+//! and the kernel-vs-naive comparisons for the `gaia_tensor::kernels`
+//! layer (blocked matmul, fused conv1d+bias+act, fused attention scores).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gaia_tensor::{conv1d, PadMode, Tensor};
+use gaia_tensor::kernels::{
+    attention_scores_into, conv1d_fused_into, matmul_into, matmul_naive_into,
+};
+use gaia_tensor::{conv1d, Activation, PadMode, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -44,9 +49,113 @@ fn bench_conv1d(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance comparison of the kernel layer: blocked vs naive matmul
+/// at model shapes. The roadmap target is blocked ≥ 2× naive at the sizes
+/// the forward pass actually multiplies (24–128).
+fn bench_matmul_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("matmul_blocked_vs_naive");
+    for &n in &[24usize, 32, 64, 128] {
+        let a = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        let b = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| {
+                matmul_naive_into(a.data(), b.data(), n, n, n, &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                matmul_into(a.data(), b.data(), n, n, n, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fused conv1d+bias+ReLU (one pass, caller buffer) vs the naive
+/// allocating conv followed by separate bias/activation sweeps, at the TEL
+/// shape ([24, 32] → 8 channels).
+fn bench_conv1d_fused_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (t_len, c_in, c_out, k) = (24usize, 32usize, 8usize, 4usize);
+    let x = Tensor::randn(vec![t_len, c_in], 1.0, &mut rng);
+    let w = Tensor::randn(vec![k, c_in, c_out], 0.3, &mut rng);
+    let b = Tensor::randn(vec![c_out], 0.3, &mut rng);
+    let mut group = c.benchmark_group("conv1d_fused_vs_naive");
+    group.bench_function("naive_conv_bias_relu", |bench| {
+        bench.iter(|| black_box(conv1d(&x, &w, Some(&b), PadMode::Same).map(|v| v.max(0.0))));
+    });
+    let mut out = vec![0.0f32; t_len * c_out];
+    group.bench_function("fused", |bench| {
+        bench.iter(|| {
+            conv1d_fused_into(
+                x.data(),
+                w.data(),
+                Some(b.data()),
+                t_len,
+                c_in,
+                c_out,
+                k,
+                PadMode::Same,
+                Activation::Relu,
+                &mut out,
+            );
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+/// Fused attention scores (QKᵀ/√C + M, one kernel, caller buffer) vs the
+/// unfused transpose → matmul → scale → mask pipeline at the CAU shape.
+fn bench_attention_scores_fused_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let (t, ch) = (24usize, 32usize);
+    let q = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let k = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let mask = {
+        let mut m = Tensor::zeros(vec![t, t]);
+        for i in 0..t {
+            for j in (i + 1)..t {
+                *m.at_mut(i, j) = -1e9;
+            }
+        }
+        m
+    };
+    let scale = 1.0 / (ch as f32).sqrt();
+    let mut group = c.benchmark_group("attention_scores_fused_vs_naive");
+    group.bench_function("unfused_transpose_matmul_scale_mask", |bench| {
+        bench.iter(|| black_box(q.matmul(&k.transpose()).scale(scale).add(&mask)));
+    });
+    let mut scratch = vec![0.0f32; t * ch];
+    let mut out = vec![0.0f32; t * t];
+    group.bench_function("fused", |bench| {
+        bench.iter(|| {
+            attention_scores_into(
+                q.data(),
+                k.data(),
+                t,
+                t,
+                ch,
+                scale,
+                Some(mask.data()),
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
-    targets = bench_matmul, bench_attention_shapes, bench_conv1d
+    targets = bench_matmul, bench_attention_shapes, bench_conv1d,
+        bench_matmul_blocked_vs_naive, bench_conv1d_fused_vs_naive,
+        bench_attention_scores_fused_vs_naive
 }
 criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Emit the serving-throughput benchmark (`BENCH_pr2.json`) from
+//! Emit the serving-throughput benchmark (`BENCH_pr3.json`) from
 //! [`gaia_serving::ServeStats`]: train one offline cycle on the shared bench
 //! world, boot the online server and measure batch-prediction throughput and
-//! latency percentiles across a 1/2/4/8-worker sweep.
+//! latency percentiles across a 1/2/4/8-worker sweep, plus the single-worker
+//! forward cost in µs/request (the number the kernel layer attacks).
 //!
 //! Run from the repo root with `cargo run --release -p gaia-bench --bin
 //! serving_baseline`. The file is committed next to the frozen seed baseline
@@ -28,6 +29,13 @@ struct Baseline {
     /// the per-core speedup of the serving hot path.
     seed_1worker_per_second: f64,
     speedup_vs_seed_1worker: f64,
+    /// 1-worker figure committed in BENCH_pr2.json (epoch-snapshot server,
+    /// pre-kernel-layer) and this run's speedup over it — the PR 3 delta.
+    pr2_1worker_per_second: f64,
+    speedup_vs_pr2_1worker: f64,
+    /// Mean single-worker service time in µs per request (1e6 · seconds /
+    /// requests at workers = 1): the per-request forward cost.
+    forward_us_per_request: f64,
 }
 
 #[derive(Serialize)]
@@ -40,6 +48,10 @@ struct Run {
 /// constant so the binary needs no JSON parsing; update it if the seed
 /// baseline is ever regenerated.
 const SEED_1WORKER_PER_SECOND: f64 = 4264.133884849303;
+
+/// 1-worker `per_second` recorded in BENCH_pr2.json at PR 2 (same rule as
+/// the seed constant).
+const PR2_1WORKER_PER_SECOND: f64 = 11565.035209316005;
 
 fn main() {
     let (world, ds0) = bench_world();
@@ -60,6 +72,7 @@ fn main() {
 
     let mut runs = Vec::new();
     let mut one_worker_per_second = 0.0;
+    let mut one_worker_seconds = 0.0;
     for workers in [1usize, 2, 4, 8] {
         // Best of three: on a shared box the max is the least noisy
         // estimator of the machine's capability.
@@ -84,6 +97,7 @@ fn main() {
         );
         if workers == 1 {
             one_worker_per_second = stats.per_second;
+            one_worker_seconds = stats.seconds;
         }
         runs.push(Run { workers, stats });
     }
@@ -93,7 +107,8 @@ fn main() {
         description: "ServeStats throughput/latency for ModelServer::predict_many across a \
                       1/2/4/8-worker sweep on the shared bench world (200 shops, 1-epoch \
                       offline cycle, seed 7/42); epoch-snapshot server with per-worker \
-                      inference contexts"
+                      inference contexts, PR-3 kernel layer (blocked matmul, fused \
+                      conv1d/attention) and pooled zero-alloc tapes"
             .to_string(),
         n_shops: n,
         requests: shops.len(),
@@ -101,11 +116,18 @@ fn main() {
         runs,
         seed_1worker_per_second: SEED_1WORKER_PER_SECOND,
         speedup_vs_seed_1worker: one_worker_per_second / SEED_1WORKER_PER_SECOND,
+        pr2_1worker_per_second: PR2_1WORKER_PER_SECOND,
+        speedup_vs_pr2_1worker: one_worker_per_second / PR2_1WORKER_PER_SECOND,
+        forward_us_per_request: 1e6 * one_worker_seconds / shops.len() as f64,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
-    std::fs::write("BENCH_pr2.json", json + "\n").expect("write BENCH_pr2.json");
+    std::fs::write("BENCH_pr3.json", json + "\n").expect("write BENCH_pr3.json");
     println!(
-        "wrote BENCH_pr2.json ({cores} cores, 1-worker speedup vs seed: {:.2}x)",
-        one_worker_per_second / SEED_1WORKER_PER_SECOND
+        "wrote BENCH_pr3.json ({cores} cores, 1-worker: {:.1}/s = {:.1} µs/req, \
+         {:.2}x seed, {:.2}x pr2)",
+        one_worker_per_second,
+        1e6 * one_worker_seconds / shops.len() as f64,
+        one_worker_per_second / SEED_1WORKER_PER_SECOND,
+        one_worker_per_second / PR2_1WORKER_PER_SECOND
     );
 }

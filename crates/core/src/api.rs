@@ -117,10 +117,12 @@ pub mod inputs {
 
     /// The centre/neighbour input triple for one local node of an ego
     /// subgraph: `(z: [T, 1], f_t: [T, d_t], f_s: [1, d_s])` as constants.
+    /// Inputs enter the tape as pooled copies, so a reset-reused tape feeds
+    /// them in without fresh allocations.
     pub fn node_inputs(g: &mut Graph, ds: &Dataset, node: usize) -> (VarId, VarId, VarId) {
-        let z = g.constant(Tensor::from_vec(vec![ds.t, 1], ds.gmv_norm[node].clone()));
-        let f_t = g.constant(ds.temporal[node].clone());
-        let f_s = g.constant(ds.statics[node].clone());
+        let z = g.constant_slice(&[ds.t, 1], &ds.gmv_norm[node]);
+        let f_t = g.constant_from(&ds.temporal[node]);
+        let f_s = g.constant_from(&ds.statics[node]);
         (z, f_t, f_s)
     }
 

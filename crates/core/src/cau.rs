@@ -21,6 +21,7 @@ use gaia_nn::{causal_mask, Conv1d, ParamStore};
 use gaia_tensor::{Graph, PadMode, Tensor, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The CAU: conv-projected masked attention over paired `[T, C]` series.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -28,9 +29,9 @@ pub struct ConvolutionalAttentionUnit {
     lq: Conv1d,
     lk: Conv1d,
     lv: Conv1d,
-    /// Precomputed `{-1e9, 0}` mask (None for the traditional-attention
-    /// ablation).
-    mask: Option<Tensor>,
+    /// Shared `{-1e9, 0}` mask from the per-length cache (None for the
+    /// traditional-attention ablation). Cloning the CAU bumps the `Arc`.
+    mask: Option<Arc<Tensor>>,
     channels: usize,
 }
 
@@ -76,10 +77,11 @@ impl ConvolutionalAttentionUnit {
         let q = self.lq.forward(g, ps, h_u);
         let k = self.lk.forward(g, ps, h_v);
         let v = self.lv.forward(g, ps, h_v);
-        let kt = g.transpose(k);
-        let logits = g.matmul(q, kt);
-        let logits = g.scale(logits, 1.0 / (self.channels as f32).sqrt());
-        let attn = g.softmax_rows(logits, self.mask.as_ref());
+        // Fused Q Kᵀ / √C + M — one kernel dispatch into a pooled buffer,
+        // no separate transpose/scale/mask tape nodes.
+        let scale = 1.0 / (self.channels as f32).sqrt();
+        let logits = g.attention_scores(q, k, scale, self.mask.as_deref());
+        let attn = g.softmax_rows(logits, None);
         let out = g.matmul(attn, v);
         (out, attn)
     }

@@ -94,7 +94,7 @@ impl FeatureFusionLayer {
                 let ft_emb = g.add(ft_emb, bt);
                 // (3) static features, tiled across the window.
                 let fs_emb = w_s.forward(g, ps, f_s);
-                let ones = g.constant(Tensor::ones(vec![self.t, 1]));
+                let ones = g.constant_full(&[self.t, 1], 1.0);
                 let fs_tiled = g.matmul(ones, fs_emb);
                 // (4) concatenate and fuse.
                 let cat = g.concat_cols(&[z_emb, ft_emb, fs_tiled]);
@@ -103,7 +103,7 @@ impl FeatureFusionLayer {
                 g.add(fused, bf)
             }
             FflKind::Coarse { proj } => {
-                let ones = g.constant(Tensor::ones(vec![self.t, 1]));
+                let ones = g.constant_full(&[self.t, 1], 1.0);
                 let fs_tiled = g.matmul(ones, f_s);
                 let cat = g.concat_cols(&[z, f_t, fs_tiled]);
                 proj.forward(g, ps, cat)

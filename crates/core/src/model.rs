@@ -110,9 +110,11 @@ impl Gaia {
         let mut e: Vec<VarId> = Vec::with_capacity(n);
         for v in 0..n {
             let node = ego.nodes[v] as usize;
-            let cached = cache.as_ref().and_then(|c| c.get(node)).cloned();
-            let var = match cached {
-                Some(t) => g.constant(t),
+            // Cached embeddings enter the tape as pooled copies (no clone of
+            // the cache tensor, no fresh allocation in steady state).
+            let hit = cache.as_ref().and_then(|c| c.get(node)).map(|t| g.constant_from(t));
+            let var = match hit {
+                Some(var) => var,
                 None => {
                     let var = self.embed(g, ds, node);
                     if let Some(c) = cache.as_mut() {

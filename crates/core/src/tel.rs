@@ -16,7 +16,7 @@
 
 use crate::config::{GaiaConfig, GaiaVariant};
 use gaia_nn::{Conv1d, ParamStore};
-use gaia_tensor::{Graph, PadMode, VarId};
+use gaia_tensor::{Activation, Graph, PadMode, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -58,13 +58,21 @@ impl TemporalEmbeddingLayer {
 
     /// Map fused features `S_v: [T, C]` to the temporal representation
     /// `E_v: [T, C]`.
+    ///
+    /// The activations of Eq. (7) are fused into each bank's conv node:
+    /// `ReLU(a || b) = ReLU(a) || ReLU(b)` elementwise, so applying ReLU /
+    /// Sigmoid per kernel group before the concat is algebraically identical
+    /// to the unfused form and saves two full `[T, C]` tape nodes.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, s: VarId) -> VarId {
-        let cap: Vec<VarId> = self.capture.iter().map(|conv| conv.forward(g, ps, s)).collect();
-        let den: Vec<VarId> = self.denoise.iter().map(|conv| conv.forward(g, ps, s)).collect();
-        let s_c = if cap.len() == 1 { cap[0] } else { g.concat_cols(&cap) };
-        let s_d = if den.len() == 1 { den[0] } else { g.concat_cols(&den) };
-        let act = g.relu(s_c);
-        let gate = g.sigmoid(s_d);
+        let cap: Vec<VarId> =
+            self.capture.iter().map(|conv| conv.forward_act(g, ps, s, Activation::Relu)).collect();
+        let den: Vec<VarId> = self
+            .denoise
+            .iter()
+            .map(|conv| conv.forward_act(g, ps, s, Activation::Sigmoid))
+            .collect();
+        let act = if cap.len() == 1 { cap[0] } else { g.concat_cols(&cap) };
+        let gate = if den.len() == 1 { den[0] } else { g.concat_cols(&den) };
         g.mul(act, gate)
     }
 

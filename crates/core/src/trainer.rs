@@ -272,6 +272,13 @@ impl InferenceScratch {
     pub fn cached_embeddings(&self) -> usize {
         self.cache.len()
     }
+
+    /// Fresh heap buffers the reused tape has ever allocated (pool misses).
+    /// Flat across requests = the zero-alloc steady state the serving hot
+    /// path targets; see `Graph::fresh_buffer_allocs`.
+    pub fn tape_fresh_allocs(&self) -> usize {
+        self.tape.fresh_buffer_allocs()
+    }
 }
 
 /// Predict one centre reusing `scratch`'s tape, ego workspace and embedding
@@ -422,5 +429,29 @@ mod tests {
     fn evaluate_loss_empty_centers_is_zero() {
         let (world, ds, model) = tiny_setup();
         assert_eq!(evaluate_loss(&model, &ds, &world.graph, &[], 1, 2), 0.0);
+    }
+
+    /// The PR-3 acceptance contract: once a reused inference scratch has
+    /// served a request, repeat forward passes on its reset tape allocate
+    /// **zero** fresh tensor buffers — every op output, bound parameter and
+    /// input constant is served from the tape's pool.
+    #[test]
+    fn steady_state_inference_allocates_zero_fresh_buffers() {
+        let (world, ds, model) = tiny_setup();
+        let mut scratch = InferenceScratch::new();
+        let node = ds.splits.test[0];
+        // Warm-up: first pass allocates, and populates the embed cache.
+        let first = predict_one_with(&model, &ds, &world.graph, node, 42, &mut scratch);
+        let _second = predict_one_with(&model, &ds, &world.graph, node, 42, &mut scratch);
+        let warm = scratch.tape_fresh_allocs();
+        for _ in 0..5 {
+            let again = predict_one_with(&model, &ds, &world.graph, node, 42, &mut scratch);
+            assert_eq!(again.model_space, first.model_space, "steady state changed the answer");
+            assert_eq!(
+                scratch.tape_fresh_allocs(),
+                warm,
+                "steady-state forward pass allocated a fresh tensor buffer"
+            );
+        }
     }
 }

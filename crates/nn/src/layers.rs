@@ -7,9 +7,11 @@
 
 use crate::init;
 use crate::params::{ParamId, ParamStore};
-use gaia_tensor::{Graph, PadMode, Tensor, VarId};
+use gaia_tensor::{Activation, Graph, PadMode, Tensor, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Fully-connected layer `y = x W (+ b)` for `x: [n, in_dim]`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -39,6 +41,13 @@ impl Linear {
 
     /// Apply the layer to `x: [n, in_dim]`.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId) -> VarId {
+        self.forward_act(g, ps, x, Activation::Identity)
+    }
+
+    /// Apply the layer with a fused activation: matmul, bias broadcast and
+    /// activation collapse into **one** tape node
+    /// ([`gaia_tensor::Graph::linear`]).
+    pub fn forward_act(&self, g: &mut Graph, ps: &ParamStore, x: VarId, act: Activation) -> VarId {
         assert_eq!(
             g.value(x).cols(),
             self.in_dim,
@@ -47,14 +56,8 @@ impl Linear {
             self.in_dim
         );
         let w = ps.bind(g, self.w);
-        let y = g.matmul(x, w);
-        match self.b {
-            Some(bid) => {
-                let b = ps.bind(g, bid);
-                g.add_bias(y, b)
-            }
-            None => y,
-        }
+        let b = self.b.map(|bid| ps.bind(g, bid));
+        g.linear(x, w, b, act)
     }
 
     /// Output width.
@@ -97,6 +100,13 @@ impl Conv1d {
 
     /// Apply the convolution to `x: [T, c_in]`.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId) -> VarId {
+        self.forward_act(g, ps, x, Activation::Identity)
+    }
+
+    /// Apply the convolution with a fused activation: conv, bias and
+    /// activation collapse into **one** tape node dispatched to the fused
+    /// kernel ([`gaia_tensor::Graph::conv1d_act`]).
+    pub fn forward_act(&self, g: &mut Graph, ps: &ParamStore, x: VarId, act: Activation) -> VarId {
         assert_eq!(
             g.value(x).cols(),
             self.c_in,
@@ -106,7 +116,7 @@ impl Conv1d {
         );
         let w = ps.bind(g, self.w);
         let b = self.b.map(|bid| ps.bind(g, bid));
-        g.conv1d(x, w, b, self.pad)
+        g.conv1d_act(x, w, b, self.pad, act)
     }
 
     /// Kernel width.
@@ -191,10 +201,9 @@ impl MultiHeadSelfAttention {
             let q = head.wq.forward(g, ps, q_src);
             let k = head.wk.forward(g, ps, kv_src);
             let v = head.wv.forward(g, ps, kv_src);
-            let kt = g.transpose(k);
-            let logits = g.matmul(q, kt);
-            let logits = g.scale(logits, scale);
-            let attn = g.softmax_rows(logits, mask);
+            // Fused Q Kᵀ · scale + mask — one pooled tape node.
+            let logits = g.attention_scores(q, k, scale, mask);
+            let attn = g.softmax_rows(logits, None);
             outs.push(g.matmul(attn, v));
         }
         let cat = if outs.len() == 1 { outs[0] } else { g.concat_cols(&outs) };
@@ -236,7 +245,8 @@ impl LstmCell {
         }
     }
 
-    /// One step: returns `(h', c')`.
+    /// One step: returns `(h', c')`. Every gate is one fused
+    /// linear+bias+activation tape node.
     pub fn forward(
         &self,
         g: &mut Graph,
@@ -246,14 +256,10 @@ impl LstmCell {
         c: VarId,
     ) -> (VarId, VarId) {
         let xh = g.concat_cols(&[x, h]);
-        let i = self.wi.forward(g, ps, xh);
-        let i = g.sigmoid(i);
-        let f = self.wf.forward(g, ps, xh);
-        let f = g.sigmoid(f);
-        let o = self.wo.forward(g, ps, xh);
-        let o = g.sigmoid(o);
-        let cand = self.wg.forward(g, ps, xh);
-        let cand = g.tanh(cand);
+        let i = self.wi.forward_act(g, ps, xh, Activation::Sigmoid);
+        let f = self.wf.forward_act(g, ps, xh, Activation::Sigmoid);
+        let o = self.wo.forward_act(g, ps, xh, Activation::Sigmoid);
+        let cand = self.wg.forward_act(g, ps, xh, Activation::Tanh);
         let fc = g.mul(f, c);
         let ic = g.mul(i, cand);
         let c_new = g.add(fc, ic);
@@ -262,11 +268,68 @@ impl LstmCell {
         (h_new, c_new)
     }
 
-    /// Zero initial state `(h0, c0)` as constants on the tape.
+    /// Zero initial state `(h0, c0)` as pooled constants on the tape.
     pub fn zero_state(&self, g: &mut Graph) -> (VarId, VarId) {
-        let h = g.constant(Tensor::zeros(vec![1, self.hidden]));
-        let c = g.constant(Tensor::zeros(vec![1, self.hidden]));
+        let h = g.constant_full(&[1, self.hidden], 0.0);
+        let c = g.constant_full(&[1, self.hidden], 0.0);
         (h, c)
+    }
+}
+
+/// GRU cell: the two-gate recurrent unit. Like [`LstmCell`] it operates on
+/// `[1, input]` inputs and `[1, hidden]` state; every gate is one fused
+/// linear+bias+activation tape node routed through the kernel layer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GruCell {
+    wz: Linear,
+    wr: Linear,
+    wh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Register a new cell taking `[1, input]` inputs and `[1, hidden]` state.
+    pub fn new<R: Rng>(
+        ps: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let cat = input + hidden;
+        Self {
+            wz: Linear::new(ps, &format!("{name}.wz"), cat, hidden, true, rng),
+            wr: Linear::new(ps, &format!("{name}.wr"), cat, hidden, true, rng),
+            wh: Linear::new(ps, &format!("{name}.wh"), cat, hidden, true, rng),
+            hidden,
+        }
+    }
+
+    /// One step:
+    /// `z = σ(W_z [x||h])`, `r = σ(W_r [x||h])`,
+    /// `h̃ = tanh(W_h [x || r⊙h])`, `h' = h + z ⊙ (h̃ - h)`
+    /// (the last line is the algebraically identical allocation-lean form of
+    /// `(1-z)⊙h + z⊙h̃`). Returns `h'`.
+    pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId, h: VarId) -> VarId {
+        let xh = g.concat_cols(&[x, h]);
+        let z = self.wz.forward_act(g, ps, xh, Activation::Sigmoid);
+        let r = self.wr.forward_act(g, ps, xh, Activation::Sigmoid);
+        let rh = g.mul(r, h);
+        let xrh = g.concat_cols(&[x, rh]);
+        let cand = self.wh.forward_act(g, ps, xrh, Activation::Tanh);
+        let delta = g.sub(cand, h);
+        let zdelta = g.mul(z, delta);
+        g.add(h, zdelta)
+    }
+
+    /// Zero initial state `h0` as a pooled constant on the tape.
+    pub fn zero_state(&self, g: &mut Graph) -> VarId {
+        g.constant_full(&[1, self.hidden], 0.0)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
     }
 }
 
@@ -325,11 +388,11 @@ impl GluConv {
         }
     }
 
-    /// Apply the gated convolution to `x: [T, c_in]`.
+    /// Apply the gated convolution to `x: [T, c_in]`. The gate branch is a
+    /// single fused conv+bias+sigmoid node.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, x: VarId) -> VarId {
         let p = self.p.forward(g, ps, x);
-        let q = self.q.forward(g, ps, x);
-        let gate = g.sigmoid(q);
+        let gate = self.q.forward_act(g, ps, x, Activation::Sigmoid);
         g.mul(p, gate)
     }
 }
@@ -352,14 +415,13 @@ impl Mlp {
         Self { layers }
     }
 
-    /// Forward pass; ReLU after every layer except the last.
+    /// Forward pass; ReLU after every layer except the last, fused into the
+    /// layer's linear node.
     pub fn forward(&self, g: &mut Graph, ps: &ParamStore, mut x: VarId) -> VarId {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(g, ps, x);
-            if i != last {
-                x = g.relu(x);
-            }
+            let act = if i != last { Activation::Relu } else { Activation::Identity };
+            x = layer.forward_act(g, ps, x, act);
         }
         x
     }
@@ -380,15 +442,34 @@ pub fn dropout<R: Rng>(g: &mut Graph, x: VarId, p: f32, training: bool, rng: &mu
     g.mul_const(x, Tensor::from_vec(shape, mask_data))
 }
 
-/// Build the `{-inf, 0}` causal mask `M` of the CAU: entry `(i, j)` is `-1e9`
+/// Process-wide cache of causal masks keyed by sequence length.
+fn causal_mask_cache() -> &'static Mutex<HashMap<usize, Arc<Tensor>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Tensor>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The `{-inf, 0}` causal mask `M` of the CAU: entry `(i, j)` is `-1e9`
 /// when `j > i` so attention never looks rightward in time.
-pub fn causal_mask(t: usize) -> Tensor {
+///
+/// Masks are built **once per sequence length** and shared behind an `Arc`
+/// from a process-wide cache — attention forwards that previously rebuilt a
+/// `[T, T]` tensor per call now take an `Arc` bump.
+pub fn causal_mask(t: usize) -> Arc<Tensor> {
+    if let Some(m) = causal_mask_cache().lock().expect("mask cache poisoned").get(&t) {
+        return Arc::clone(m);
+    }
     let mut m = Tensor::zeros(vec![t, t]);
     for i in 0..t {
         for j in (i + 1)..t {
             *m.at_mut(i, j) = -1e9;
         }
     }
+    let m = Arc::new(m);
+    causal_mask_cache()
+        .lock()
+        .expect("mask cache poisoned")
+        .entry(t)
+        .or_insert_with(|| Arc::clone(&m));
     m
 }
 
@@ -438,7 +519,7 @@ mod tests {
         let attn = MultiHeadSelfAttention::new(&mut ps, "a", 8, 2, &mut r);
         let mut g = Graph::new();
         let x = g.constant(Tensor::randn(vec![6, 8], 1.0, &mut r));
-        let y = attn.forward(&mut g, &ps, x, Some(&causal_mask(6)));
+        let y = attn.forward(&mut g, &ps, x, Some(&*causal_mask(6)));
         assert_eq!(g.value(y).shape(), &[6, 8]);
         assert!(g.value(y).all_finite());
     }
@@ -459,7 +540,7 @@ mod tests {
         let run = |input: &Tensor| {
             let mut g = Graph::new();
             let x = g.constant(input.clone());
-            let y = attn.forward(&mut g, &ps, x, Some(&causal_mask(5)));
+            let y = attn.forward(&mut g, &ps, x, Some(&*causal_mask(5)));
             g.value(y).row(0).to_vec()
         };
         let r0 = run(&base);
@@ -551,6 +632,57 @@ mod tests {
         assert_eq!(m.at(2, 1), 0.0);
     }
 
+    /// The mask cache returns the same allocation for repeat lengths —
+    /// attention forwards no longer rebuild a `[T, T]` tensor per call.
+    #[test]
+    fn causal_mask_is_cached_per_length() {
+        let a = causal_mask(7);
+        let b = causal_mask(7);
+        assert!(Arc::ptr_eq(&a, &b), "same length must share one mask allocation");
+        let c = causal_mask(9);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.shape(), &[9, 9]);
+    }
+
+    #[test]
+    fn gru_cell_state_evolves_and_stays_bounded() {
+        let mut r = rng();
+        let mut ps = ParamStore::new();
+        let cell = GruCell::new(&mut ps, "gru", 3, 5, &mut r);
+        assert_eq!(cell.hidden(), 5);
+        let mut g = Graph::new();
+        let h0 = cell.zero_state(&mut g);
+        let x = g.constant(Tensor::randn(vec![1, 3], 1.0, &mut r));
+        let h1 = cell.forward(&mut g, &ps, x, h0);
+        assert_eq!(g.value(h1).shape(), &[1, 5]);
+        assert!(g.value(h1).max_abs() > 0.0);
+        // tanh candidate + convex gate keeps the state in (-1, 1).
+        assert!(g.value(h1).max_abs() <= 1.0);
+        let h2 = cell.forward(&mut g, &ps, x, h1);
+        assert_ne!(g.value(h1).data(), g.value(h2).data());
+    }
+
+    /// GRU gradients reach every gate parameter (the fused linear+activation
+    /// nodes must backprop exactly like the unfused pipeline).
+    #[test]
+    fn gru_cell_gradients_reach_all_gates() {
+        let mut r = rng();
+        let mut ps = ParamStore::new();
+        let cell = GruCell::new(&mut ps, "gru", 4, 6, &mut r);
+        let mut g = Graph::new();
+        let h0 = cell.zero_state(&mut g);
+        let x = g.constant(Tensor::randn(vec![1, 4], 1.0, &mut r));
+        let h1 = cell.forward(&mut g, &ps, x, h0);
+        let h2 = cell.forward(&mut g, &ps, x, h1);
+        let sq = g.mul(h2, h2);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        ps.accumulate_grads(&g);
+        for p in ps.iter() {
+            assert!(p.grad.max_abs() > 0.0, "no grad for {}", p.name);
+        }
+    }
+
     /// Smoke test of the stacked hot path every temporal model uses:
     /// conv1d → multi-head attention → MLP head, checking shapes end to end
     /// and that gradients reach every registered parameter.
@@ -566,7 +698,7 @@ mod tests {
         let x = g.constant(Tensor::randn(vec![t, 2], 1.0, &mut r));
         let h = conv.forward(&mut g, &ps, x);
         assert_eq!(g.value(h).shape(), &[t, c]);
-        let a = attn.forward(&mut g, &ps, h, Some(&causal_mask(t)));
+        let a = attn.forward(&mut g, &ps, h, Some(&*causal_mask(t)));
         assert_eq!(g.value(a).shape(), &[t, c]);
         let y = head.forward(&mut g, &ps, a);
         assert_eq!(g.value(y).shape(), &[t, 1]);

@@ -14,7 +14,8 @@ pub mod optim;
 pub mod params;
 
 pub use layers::{
-    causal_mask, dropout, Conv1d, GluConv, LayerNorm, Linear, LstmCell, Mlp, MultiHeadSelfAttention,
+    causal_mask, dropout, Conv1d, GluConv, GruCell, LayerNorm, Linear, LstmCell, Mlp,
+    MultiHeadSelfAttention,
 };
 pub use optim::{Adam, Sgd};
 pub use params::{Param, ParamId, ParamStore};

@@ -58,9 +58,11 @@ impl ParamStore {
         &self.params[id.0].grad
     }
 
-    /// Bind a parameter into a tape as a trainable leaf.
+    /// Bind a parameter into a tape as a trainable leaf. The leaf holds a
+    /// pooled copy of the value, so binding into a reset-reused tape
+    /// allocates nothing in steady state.
     pub fn bind(&self, g: &mut Graph, id: ParamId) -> VarId {
-        g.bind_param(id.0, self.params[id.0].value.clone())
+        g.bind_param_from(id.0, &self.params[id.0].value)
     }
 
     /// Pull gradients of all bound parameters out of a tape after
@@ -78,11 +80,10 @@ impl ParamStore {
         self.params[idx].grad.add_assign_scaled(grad, alpha);
     }
 
-    /// Reset all gradient accumulators to zero.
+    /// Reset all gradient accumulators to zero (in place, no reallocation).
     pub fn zero_grads(&mut self) {
         for p in &mut self.params {
-            let z = Tensor::zeros(p.value.shape().to_vec());
-            p.grad = z;
+            p.grad.data_mut().fill(0.0);
         }
     }
 
@@ -98,8 +99,9 @@ impl ParamStore {
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             for p in &mut self.params {
-                let scaled = p.grad.scale(s);
-                p.grad = scaled;
+                for g in p.grad.data_mut() {
+                    *g *= s;
+                }
             }
         }
         norm

@@ -133,6 +133,13 @@ impl InferenceContext<'_> {
         self.scratch.cached_embeddings()
     }
 
+    /// Fresh tensor buffers this context's reused tape has ever allocated
+    /// (pool misses). Once every ego shape in the workload has been seen,
+    /// this stays flat — the zero-alloc steady state of the request path.
+    pub fn tape_fresh_allocs(&self) -> usize {
+        self.scratch.tape_fresh_allocs()
+    }
+
     /// Version of the snapshot this context currently serves from.
     pub fn model_version(&mut self) -> u64 {
         self.reader.get().version
@@ -443,6 +450,30 @@ mod tests {
         let curve = server.scaling_curve(&[10, 40], 2);
         assert_eq!(curve.len(), 2);
         assert!(curve[1].1 >= curve[0].1 * 0.5, "time should roughly grow: {curve:?}");
+    }
+
+    /// A serving context reaches the zero-alloc steady state: after one
+    /// sweep over the workload, repeat requests allocate no fresh tensor
+    /// buffers — the per-request cost is pure compute on pooled memory.
+    #[test]
+    fn serving_context_reaches_zero_alloc_steady_state() {
+        let (server, _, _) = booted_server();
+        let mut ctx = server.inference_context();
+        let shops: Vec<usize> = (0..10).collect();
+        // Warm-up sweep: sees every ego shape in this workload.
+        let warm_preds: Vec<_> = shops.iter().map(|&s| ctx.predict(s)).collect();
+        let warm = ctx.tape_fresh_allocs();
+        for _ in 0..3 {
+            for (&shop, expected) in shops.iter().zip(&warm_preds) {
+                let again = ctx.predict(shop);
+                assert_eq!(again.model_space, expected.model_space);
+            }
+            assert_eq!(
+                ctx.tape_fresh_allocs(),
+                warm,
+                "steady-state request allocated a fresh tensor buffer"
+            );
+        }
     }
 
     #[test]

@@ -143,9 +143,16 @@ impl World {
             })
             .collect();
         // Guarantee at least one supplier and one retailer per industry when
-        // possible, so supply chains exist everywhere.
+        // possible, so supply chains exist everywhere. Membership is
+        // bucketed in one O(n) pass instead of rescanning every shop per
+        // industry — the same indexing discipline as `mining_candidates`,
+        // needed once worlds grow past ~10k shops.
+        let mut members_by_industry: Vec<Vec<usize>> = vec![Vec::new(); config.n_industries];
+        for (v, meta) in shops_meta.iter().enumerate() {
+            members_by_industry[meta.0 as usize].push(v);
+        }
         for ind in 0..config.n_industries {
-            let members: Vec<usize> = (0..n).filter(|&v| shops_meta[v].0 as usize == ind).collect();
+            let members = &members_by_industry[ind];
             if members.len() >= 2 {
                 let has_supplier = members.iter().any(|&v| shops_meta[v].2 == Role::Supplier);
                 if !has_supplier {
@@ -269,16 +276,14 @@ impl World {
         let mut edges: Vec<Edge> = Vec::new();
         let mut true_links: Vec<TrueSupplyLink> = Vec::new();
         // Supply chain: each retailer links to suppliers of its industry.
-        let suppliers_by_industry: Vec<Vec<u32>> = (0..config.n_industries)
-            .map(|ind| {
-                (0..n)
-                    .filter(|&v| {
-                        shops[v].industry as usize == ind && shops[v].role == Role::Supplier
-                    })
-                    .map(|v| v as u32)
-                    .collect()
-            })
-            .collect();
+        // Suppliers are bucketed by industry in one pass (was an O(I·n)
+        // rescan).
+        let mut suppliers_by_industry: Vec<Vec<u32>> = vec![Vec::new(); config.n_industries];
+        for (v, shop) in shops.iter().enumerate() {
+            if shop.role == Role::Supplier {
+                suppliers_by_industry[shop.industry as usize].push(v as u32);
+            }
+        }
         for v in 0..n {
             if shops[v].role != Role::Retailer {
                 continue;
@@ -324,24 +329,27 @@ impl World {
 
     /// Candidate `(supplier, retailer)` pairs for the mining path: all pairs
     /// sharing an industry with opposite roles, capped per retailer.
+    ///
+    /// Suppliers are bucketed by industry in one O(n) pass, then each
+    /// retailer reads its industry's bucket — replacing the former
+    /// all-pairs scan (O(n²), the `generate_dataset` scaling wall past
+    /// ~10k shops) while producing the **identical** pair list: buckets
+    /// keep ascending supplier ids, exactly the order the scan emitted.
     pub fn mining_candidates(&self, cap_per_retailer: usize) -> Vec<(u32, u32)> {
-        let n = self.shops.len();
+        let mut suppliers_by_industry: Vec<Vec<u32>> = vec![Vec::new(); self.config.n_industries];
+        for (s, shop) in self.shops.iter().enumerate() {
+            if shop.role == Role::Supplier {
+                suppliers_by_industry[shop.industry as usize].push(s as u32);
+            }
+        }
         let mut out = Vec::new();
-        for r in 0..n {
-            if self.shops[r].role != Role::Retailer {
+        for (r, shop) in self.shops.iter().enumerate() {
+            if shop.role != Role::Retailer {
                 continue;
             }
-            let mut count = 0;
-            for s in 0..n {
-                if count >= cap_per_retailer {
-                    break;
-                }
-                if self.shops[s].role == Role::Supplier
-                    && self.shops[s].industry == self.shops[r].industry
-                {
-                    out.push((s as u32, r as u32));
-                    count += 1;
-                }
+            let bucket = &suppliers_by_industry[shop.industry as usize];
+            for &s in bucket.iter().take(cap_per_retailer) {
+                out.push((s, r as u32));
             }
         }
         out
@@ -508,6 +516,54 @@ mod tests {
             assert_eq!(w.shops[r as usize].role, Role::Retailer);
             assert_eq!(w.shops[s as usize].industry, w.shops[r as usize].industry);
         }
+    }
+
+    /// The old O(n²) all-pairs scan, kept as the behavioural reference for
+    /// the bucketed implementation.
+    fn mining_candidates_brute_force(w: &World, cap: usize) -> Vec<(u32, u32)> {
+        let n = w.shops.len();
+        let mut out = Vec::new();
+        for r in 0..n {
+            if w.shops[r].role != Role::Retailer {
+                continue;
+            }
+            let mut count = 0;
+            for s in 0..n {
+                if count >= cap {
+                    break;
+                }
+                if w.shops[s].role == Role::Supplier && w.shops[s].industry == w.shops[r].industry {
+                    out.push((s as u32, r as u32));
+                    count += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Bucketed indexing must emit the *identical* pair list as the
+    /// all-pairs scan, across the cap boundaries where off-by-ones live:
+    /// cap 0, cap 1, caps straddling the largest bucket size, and unbounded.
+    #[test]
+    fn mining_candidates_bucketed_matches_brute_force_at_boundaries() {
+        let w = World::generate(WorldConfig { n_shops: 300, ..WorldConfig::default() });
+        let mut per_industry = vec![0usize; w.config.n_industries];
+        for s in &w.shops {
+            if s.role == Role::Supplier {
+                per_industry[s.industry as usize] += 1;
+            }
+        }
+        let largest = per_industry.iter().copied().max().unwrap_or(0);
+        assert!(largest >= 2, "world must have a multi-supplier industry");
+        for cap in [0, 1, largest - 1, largest, largest + 3, usize::MAX] {
+            assert_eq!(
+                w.mining_candidates(cap),
+                mining_candidates_brute_force(&w, cap),
+                "bucketed candidates diverge from the all-pairs scan at cap {cap}"
+            );
+        }
+        // Cap 0 must yield nothing; unbounded yields every cross-role pair.
+        assert!(w.mining_candidates(0).is_empty());
     }
 
     #[test]

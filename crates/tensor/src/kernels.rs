@@ -1,0 +1,595 @@
+//! Dedicated compute kernels for the model hot path.
+//!
+//! Every kernel in this module writes into a **caller-provided output
+//! slice** — no kernel allocates. That discipline is what lets the autodiff
+//! [`crate::Graph`] run steady-state forward/backward passes without
+//! touching the allocator: the tape draws output buffers from its
+//! [`crate::TensorPool`] and hands the raw slices here.
+//!
+//! The module ships two matmul implementations:
+//!
+//! * [`matmul_naive_into`] — the textbook `i-j-k` dot-product loop. It is
+//!   the *parity reference*: property tests assert the optimised kernels
+//!   match it elementwise, and `crates/bench/benches/tensor_ops.rs` reports
+//!   the blocked kernel's speedup over it at model shapes.
+//! * [`matmul_into`] — cache-blocked `i-k-j` kernel with a 4-wide unroll
+//!   over the inner dimension, the discipline of BLIS-style micro-kernels
+//!   scaled down to the paper's small-and-many workloads.
+//!
+//! plus transposed-operand variants: [`matmul_tn_into`] (axpy-style, used
+//! by the backward pass for `dB = Aᵀ G`) and [`matmul_nt_into`] (per-element
+//! dot products, scratch-free; kept parity-tested, but the tape computes
+//! `dA = G Bᵀ` by transposing into a pooled scratch and calling the blocked
+//! kernel instead — vertical SIMD beats horizontal dot reductions at model
+//! shapes). The same applies to the fused attention score kernel
+//! ([`attention_scores_into`]): it transposes `K` into a caller-provided
+//! scratch once, runs the blocked kernel, and folds scale + mask into the
+//! epilogue sweep. A fused conv1d + bias + activation
+//! ([`conv1d_fused_into`], with [`conv1d_backward_into`] for training)
+//! rounds out the set.
+
+use crate::tensor::PadMode;
+
+/// Cache-block edge (in elements) for [`matmul_into`]. Chosen so one block
+/// of `A` plus the touched rows of `B` fit comfortably in L1 for `f32`.
+pub const MATMUL_BLOCK: usize = 64;
+
+/// Activation fused into the kernel epilogues.
+///
+/// Only activations whose derivative is expressible **in terms of the
+/// output** are included — that is what lets a conv + bias + activation
+/// collapse into a single tape node whose backward needs no stashed
+/// pre-activation values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// No activation (`y = x`).
+    Identity,
+    /// Rectified linear unit (`y = max(x, 0)`).
+    Relu,
+    /// Logistic sigmoid (`y = 1 / (1 + e^{-x})`).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative `dy/dx` expressed through the *output* `y = f(x)`.
+    #[inline]
+    pub fn grad_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+#[inline]
+fn check_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &[f32]) {
+    assert_eq!(a.len(), m * k, "matmul: lhs buffer is {} not {m}x{k}", a.len());
+    assert_eq!(b.len(), k * n, "matmul: rhs buffer is {} not {k}x{n}", b.len());
+    assert_eq!(out.len(), m * n, "matmul: out buffer is {} not {m}x{n}", out.len());
+}
+
+/// Reference matmul `out[m,n] = a[m,k] @ b[k,n]` in the textbook `i-j-k`
+/// dot-product order. Slow on purpose — it is the behaviourally obvious
+/// baseline the optimised kernels are parity-tested against.
+pub fn matmul_naive_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    check_matmul(a, b, m, k, n, out);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Blocked/unrolled matmul `out[m,n] = a[m,k] @ b[k,n]`.
+///
+/// Loop order is `i-k-j` (the innermost walk is sequential over the output
+/// row and one row of `b`, which LLVM vectorises), tiled into
+/// [`MATMUL_BLOCK`]-sized blocks over `i` and `k` so the working set stays
+/// cache-resident, with the `k` loop unrolled 4-wide to amortise the loads
+/// of `a`. Handles any shape, including non-multiples of the block size.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    check_matmul(a, b, m, k, n, out);
+    out.fill(0.0);
+    for i0 in (0..m).step_by(MATMUL_BLOCK) {
+        let i1 = (i0 + MATMUL_BLOCK).min(m);
+        for p0 in (0..k).step_by(MATMUL_BLOCK) {
+            let p1 = (p0 + MATMUL_BLOCK).min(k);
+            for i in i0..i1 {
+                let a_row = &a[i * k..(i + 1) * k];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                let mut p = p0;
+                while p + 4 <= p1 {
+                    let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                    let b0 = &b[p * n..(p + 1) * n];
+                    let b1 = &b[(p + 1) * n..(p + 2) * n];
+                    let b2 = &b[(p + 2) * n..(p + 3) * n];
+                    let b3 = &b[(p + 3) * n..(p + 4) * n];
+                    for (j, o) in o_row.iter_mut().enumerate() {
+                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    p += 4;
+                }
+                while p < p1 {
+                    let av = a_row[p];
+                    if av != 0.0 {
+                        let b_row = &b[p * n..(p + 1) * n];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `out[m,n] = a[m,k] @ b[n,k]ᵀ` — matmul with a row-major `b` used as if
+/// transposed, as a 4-accumulator dot product per output element. This is
+/// the **scratch-free** variant: it needs no workspace, but horizontal dot
+/// reductions vectorise worse than the blocked kernel's axpy loops, so the
+/// tape's backward pass instead transposes `b` into a pooled scratch and
+/// calls [`matmul_into`]. Kept (and parity-tested) for callers without
+/// scratch space.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_nt: lhs buffer is {} not {m}x{k}", a.len());
+    assert_eq!(b.len(), n * k, "matmul_nt: rhs buffer is {} not {n}x{k}", b.len());
+    assert_eq!(out.len(), m * n, "matmul_nt: out buffer is {} not {m}x{n}", out.len());
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `out[m,n] = a[r,m]ᵀ @ b[r,n]` — matmul with a row-major `a` used as if
+/// transposed, accumulated as a sum of outer products so every inner walk
+/// stays sequential. The backward pass uses it for `dB = Aᵀ @ G`.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], r: usize, m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), r * m, "matmul_tn: lhs buffer is {} not {r}x{m}", a.len());
+    assert_eq!(b.len(), r * n, "matmul_tn: rhs buffer is {} not {r}x{n}", b.len());
+    assert_eq!(out.len(), m * n, "matmul_tn: out buffer is {} not {m}x{n}", out.len());
+    out.fill(0.0);
+    for i in 0..r {
+        let a_row = &a[i * m..(i + 1) * m];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (q, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let o_row = &mut out[q * n..(q + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// 4-accumulator dot product of two equal-length slices.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Transpose `a[m,n]` into `out[n,m]`.
+pub fn transpose_into(a: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * n, "transpose: buffer is {} not {m}x{n}", a.len());
+    assert_eq!(out.len(), m * n, "transpose: out buffer is {} not {n}x{m}", out.len());
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        for (j, &v) in a_row.iter().enumerate() {
+            out[j * m + i] = v;
+        }
+    }
+}
+
+/// Fused attention scores `out[t_q, t_k] = scale · (q @ kᵀ) + mask`:
+/// the `Q Kᵀ / √C + M` of the CAU in one kernel dispatch, with the scale
+/// and mask folded into the epilogue instead of separate tensor passes.
+/// `q: [t_q, c]`, `k: [t_k, c]`, `mask: [t_q, t_k]` (additive, typically
+/// `{0, -1e9}` causal entries).
+///
+/// `kt_scratch` is a caller-provided `t_k · c` workspace (the tape hands a
+/// pooled buffer): `k` is transposed into it once so the product runs
+/// through the axpy-style blocked kernel, which vectorises far better at
+/// model shapes than per-element dot products against `k`'s rows.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_scores_into(
+    q: &[f32],
+    k: &[f32],
+    t_q: usize,
+    t_k: usize,
+    c: usize,
+    scale: f32,
+    mask: Option<&[f32]>,
+    kt_scratch: &mut [f32],
+    out: &mut [f32],
+) {
+    assert_eq!(q.len(), t_q * c, "attention: q buffer is {} not {t_q}x{c}", q.len());
+    assert_eq!(k.len(), t_k * c, "attention: k buffer is {} not {t_k}x{c}", k.len());
+    assert_eq!(out.len(), t_q * t_k, "attention: out buffer is {} not {t_q}x{t_k}", out.len());
+    assert_eq!(
+        kt_scratch.len(),
+        t_k * c,
+        "attention: scratch buffer is {} not {c}x{t_k}",
+        kt_scratch.len()
+    );
+    if let Some(m) = mask {
+        assert_eq!(m.len(), t_q * t_k, "attention: mask buffer is {} not {t_q}x{t_k}", m.len());
+    }
+    transpose_into(k, t_k, c, kt_scratch);
+    matmul_into(q, kt_scratch, t_q, c, t_k, out);
+    match mask {
+        Some(m) => {
+            for (o, &mv) in out.iter_mut().zip(m) {
+                *o = *o * scale + mv;
+            }
+        }
+        None => {
+            for o in out.iter_mut() {
+                *o *= scale;
+            }
+        }
+    }
+}
+
+/// Left zero-padding implied by a [`PadMode`] for kernel width `k`.
+#[inline]
+pub fn conv_left_pad(k: usize, pad: PadMode) -> usize {
+    match pad {
+        PadMode::Same => (k - 1) / 2,
+        PadMode::Causal => k - 1,
+    }
+}
+
+/// Fused 1-D convolution + bias + activation over the time axis:
+/// `out[t, o] = act( Σ_{dk,i} x[t+dk-left, i] · w[dk, i, o] + bias[o] )`
+/// for `x: [t_len, c_in]`, `w: [kw, c_in, c_out]`, `out: [t_len, c_out]`.
+///
+/// The accumulation walks `w`'s innermost (`c_out`) axis sequentially per
+/// tap so the inner loop vectorises; bias and activation are applied in one
+/// epilogue sweep instead of as separate tape nodes.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_fused_into(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    t_len: usize,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    pad: PadMode,
+    act: Activation,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), t_len * c_in, "conv1d: x buffer is {} not {t_len}x{c_in}", x.len());
+    assert_eq!(
+        w.len(),
+        kw * c_in * c_out,
+        "conv1d: w buffer is {} not {kw}x{c_in}x{c_out}",
+        w.len()
+    );
+    assert_eq!(out.len(), t_len * c_out, "conv1d: out buffer is {} not {t_len}x{c_out}", out.len());
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv1d: bias length {} != c_out {c_out}", b.len());
+    }
+    let left = conv_left_pad(kw, pad);
+    out.fill(0.0);
+    for t in 0..t_len {
+        let o_row = &mut out[t * c_out..(t + 1) * c_out];
+        for dk in 0..kw {
+            // Input time index contributing through kernel tap dk.
+            let src = t as isize + dk as isize - left as isize;
+            if src < 0 || src >= t_len as isize {
+                continue;
+            }
+            let x_row = &x[src as usize * c_in..(src as usize + 1) * c_in];
+            let w_tap = &w[dk * c_in * c_out..(dk + 1) * c_in * c_out];
+            for (i, &xv) in x_row.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let w_row = &w_tap[i * c_out..(i + 1) * c_out];
+                for (o, &wv) in o_row.iter_mut().zip(w_row) {
+                    *o += xv * wv;
+                }
+            }
+        }
+        match bias {
+            Some(b) => {
+                for (o, &bv) in o_row.iter_mut().zip(b) {
+                    *o = act.apply(*o + bv);
+                }
+            }
+            None => {
+                if act != Activation::Identity {
+                    for o in o_row.iter_mut() {
+                        *o = act.apply(*o);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gradients of the (pre-activation) conv1d with respect to input, kernel
+/// and bias, written into caller buffers. `gout` must already be the
+/// gradient at the **pre-activation** output (callers of the fused kernel
+/// first multiply the upstream gradient by
+/// [`Activation::grad_from_output`]). Buffers are overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_backward_into(
+    x: &[f32],
+    w: &[f32],
+    gout: &[f32],
+    t_len: usize,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    pad: PadMode,
+    dx: &mut [f32],
+    dw: &mut [f32],
+    db: &mut [f32],
+) {
+    assert_eq!(gout.len(), t_len * c_out, "conv1d_backward: bad upstream shape");
+    assert_eq!(dx.len(), t_len * c_in, "conv1d_backward: dx buffer");
+    assert_eq!(dw.len(), kw * c_in * c_out, "conv1d_backward: dw buffer");
+    assert_eq!(db.len(), c_out, "conv1d_backward: db buffer");
+    let left = conv_left_pad(kw, pad);
+    dx.fill(0.0);
+    dw.fill(0.0);
+    db.fill(0.0);
+    for t in 0..t_len {
+        let g_row = &gout[t * c_out..(t + 1) * c_out];
+        for (o, &gv) in g_row.iter().enumerate() {
+            if gv == 0.0 {
+                continue;
+            }
+            db[o] += gv;
+        }
+        for dk in 0..kw {
+            let src = t as isize + dk as isize - left as isize;
+            if src < 0 || src >= t_len as isize {
+                continue;
+            }
+            let src = src as usize;
+            let x_row = &x[src * c_in..(src + 1) * c_in];
+            let dx_row = &mut dx[src * c_in..(src + 1) * c_in];
+            let w_tap = &w[dk * c_in * c_out..(dk + 1) * c_in * c_out];
+            let dw_tap = &mut dw[dk * c_in * c_out..(dk + 1) * c_in * c_out];
+            for i in 0..c_in {
+                let w_row = &w_tap[i * c_out..(i + 1) * c_out];
+                let dw_row = &mut dw_tap[i * c_out..(i + 1) * c_out];
+                let xv = x_row[i];
+                let mut acc = 0.0f32;
+                for ((&gv, &wv), dwv) in g_row.iter().zip(w_row).zip(dw_row.iter_mut()) {
+                    acc += gv * wv;
+                    *dwv += gv * xv;
+                }
+                dx_row[i] += acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        Tensor::randn(vec![n], 1.0, &mut StdRng::seed_from_u64(seed)).into_data()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol + 1e-4 * y.abs(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    /// Blocked matmul matches the naive reference at shapes straddling the
+    /// block size (the proptest suite covers random shapes on top).
+    #[test]
+    fn blocked_matmul_parity_at_boundary_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (24, 32, 24),
+            (MATMUL_BLOCK - 1, MATMUL_BLOCK, MATMUL_BLOCK + 1),
+            (MATMUL_BLOCK + 3, 2 * MATMUL_BLOCK + 1, 7),
+        ] {
+            let a = randv(m * k, 1 + m as u64);
+            let b = randv(k * n, 2 + n as u64);
+            let mut naive = vec![0.0; m * n];
+            let mut blocked = vec![0.0; m * n];
+            matmul_naive_into(&a, &b, m, k, n, &mut naive);
+            matmul_into(&a, &b, m, k, n, &mut blocked);
+            assert_close(&blocked, &naive, 1e-3, &format!("matmul {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transposes() {
+        let (m, k, n) = (5, 7, 3);
+        let a = randv(m * k, 3);
+        let bt = randv(n * k, 4); // b stored as [n, k]
+        let mut bt_t = vec![0.0; k * n];
+        transpose_into(&bt, n, k, &mut bt_t);
+        let mut want = vec![0.0; m * n];
+        matmul_naive_into(&a, &bt_t, m, k, n, &mut want);
+        let mut got = vec![0.0; m * n];
+        matmul_nt_into(&a, &bt, m, k, n, &mut got);
+        assert_close(&got, &want, 1e-4, "matmul_nt");
+
+        let at = randv(k * m, 5); // a stored as [k, m]
+        let b = randv(k * n, 6);
+        let mut at_t = vec![0.0; m * k];
+        transpose_into(&at, k, m, &mut at_t);
+        let mut want = vec![0.0; m * n];
+        matmul_naive_into(&at_t, &b, m, k, n, &mut want);
+        let mut got = vec![0.0; m * n];
+        matmul_tn_into(&at, &b, k, m, n, &mut got);
+        assert_close(&got, &want, 1e-4, "matmul_tn");
+    }
+
+    #[test]
+    fn transpose_into_roundtrip() {
+        let (m, n) = (4, 6);
+        let a = randv(m * n, 9);
+        let mut t = vec![0.0; m * n];
+        let mut back = vec![0.0; m * n];
+        transpose_into(&a, m, n, &mut t);
+        transpose_into(&t, n, m, &mut back);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn attention_scores_match_unfused_pipeline() {
+        let (tq, tk, c) = (6, 6, 8);
+        let q = randv(tq * c, 11);
+        let k = randv(tk * c, 12);
+        let mut mask = vec![0.0f32; tq * tk];
+        for i in 0..tq {
+            for j in (i + 1)..tk {
+                mask[i * tk + j] = -1e9;
+            }
+        }
+        let scale = 1.0 / (c as f32).sqrt();
+        // Unfused: transpose, naive matmul, scale, mask add.
+        let mut kt = vec![0.0; tk * c];
+        transpose_into(&k, tk, c, &mut kt);
+        let mut want = vec![0.0; tq * tk];
+        matmul_naive_into(&q, &kt, tq, c, tk, &mut want);
+        for (w, &m) in want.iter_mut().zip(&mask) {
+            *w = *w * scale + m;
+        }
+        let mut scratch = vec![0.0; tk * c];
+        let mut got = vec![0.0; tq * tk];
+        attention_scores_into(&q, &k, tq, tk, c, scale, Some(&mask), &mut scratch, &mut got);
+        assert_close(&got, &want, 1e-4, "attention_scores");
+        // Unmasked variant against its own unmasked reference.
+        let mut want2 = vec![0.0; tq * tk];
+        matmul_naive_into(&q, &kt, tq, c, tk, &mut want2);
+        for w in want2.iter_mut() {
+            *w *= scale;
+        }
+        let mut got2 = vec![0.0; tq * tk];
+        attention_scores_into(&q, &k, tq, tk, c, scale, None, &mut scratch, &mut got2);
+        assert_close(&got2, &want2, 1e-4, "attention_scores unmasked");
+    }
+
+    #[test]
+    fn fused_conv_matches_reference_plus_epilogue() {
+        let (t_len, c_in, c_out, kw) = (9, 3, 4, 3);
+        let x = Tensor::randn(vec![t_len, c_in], 1.0, &mut StdRng::seed_from_u64(21));
+        let w = Tensor::randn(vec![kw, c_in, c_out], 0.5, &mut StdRng::seed_from_u64(22));
+        let b = Tensor::randn(vec![c_out], 0.5, &mut StdRng::seed_from_u64(23));
+        for pad in [PadMode::Same, PadMode::Causal] {
+            for act in
+                [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh]
+            {
+                let want = crate::tensor::conv1d(&x, &w, Some(&b), pad).map(|v| act.apply(v));
+                let mut got = vec![0.0; t_len * c_out];
+                conv1d_fused_into(
+                    x.data(),
+                    w.data(),
+                    Some(b.data()),
+                    t_len,
+                    c_in,
+                    c_out,
+                    kw,
+                    pad,
+                    act,
+                    &mut got,
+                );
+                assert_close(&got, want.data(), 1e-4, &format!("conv {pad:?} {act:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_into_matches_allocating_wrapper() {
+        let (t_len, c_in, c_out, kw) = (7, 2, 3, 4);
+        let x = Tensor::randn(vec![t_len, c_in], 1.0, &mut StdRng::seed_from_u64(31));
+        let w = Tensor::randn(vec![kw, c_in, c_out], 0.5, &mut StdRng::seed_from_u64(32));
+        let g = Tensor::randn(vec![t_len, c_out], 1.0, &mut StdRng::seed_from_u64(33));
+        for pad in [PadMode::Same, PadMode::Causal] {
+            let (dx, dw, db) = crate::tensor::conv1d_backward(&x, &w, &g, pad);
+            let mut dx2 = vec![0.0; t_len * c_in];
+            let mut dw2 = vec![0.0; kw * c_in * c_out];
+            let mut db2 = vec![0.0; c_out];
+            conv1d_backward_into(
+                x.data(),
+                w.data(),
+                g.data(),
+                t_len,
+                c_in,
+                c_out,
+                kw,
+                pad,
+                &mut dx2,
+                &mut dw2,
+                &mut db2,
+            );
+            assert_close(&dx2, dx.data(), 1e-4, "dx");
+            assert_close(&dw2, dw.data(), 1e-4, "dw");
+            assert_close(&db2, db.data(), 1e-4, "db");
+        }
+    }
+
+    #[test]
+    fn activation_grads_match_finite_difference() {
+        for act in [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+            for &x in &[-1.7f32, -0.3, 0.4, 2.1] {
+                let eps = 1e-3;
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.grad_from_output(act.apply(x));
+                assert!((num - ana).abs() < 1e-2, "{act:?} at {x}: {ana} vs {num}");
+            }
+        }
+    }
+}

@@ -23,11 +23,29 @@
 //! assert_eq!(key, 0);
 //! assert_eq!(grad.shape(), &[2, 1]);
 //! ```
+//!
+//! ## Layering
+//!
+//! * [`tensor`] — the dense tensor type plus straightforward *reference*
+//!   implementations (naive conv1d, etc.).
+//! * [`kernels`] — the optimised hot-path kernels (blocked matmul, fused
+//!   conv1d + bias + activation, fused attention scores); every kernel
+//!   writes into a caller-provided slice and is parity-tested against the
+//!   reference implementations.
+//! * [`pool`] — the size-keyed [`TensorPool`] of recycled buffers.
+//! * [`autodiff`] — the tape; ops dispatch to `kernels` and draw outputs
+//!   from the tape-owned pool, so reset-reused tapes run allocation-free.
+
+#![warn(missing_docs)]
 
 pub mod autodiff;
+pub mod kernels;
 pub mod linalg;
+pub mod pool;
 pub mod tensor;
 
 pub use autodiff::{Graph, VarId};
+pub use kernels::Activation;
 pub use linalg::{cholesky, lstsq, solve, solve_tensor, LinalgError};
+pub use pool::TensorPool;
 pub use tensor::{conv1d, conv1d_backward, gauss, softmax_in_place, PadMode, Tensor};

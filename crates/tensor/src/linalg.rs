@@ -10,7 +10,10 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// The system matrix is singular (or numerically so) at the given pivot.
-    Singular { pivot: usize },
+    Singular {
+        /// Elimination step at which no usable pivot remained.
+        pivot: usize,
+    },
     /// Input dimensions are inconsistent.
     Dimension(String),
 }

@@ -1,0 +1,168 @@
+//! Size-keyed recycling pool of tensor buffers.
+//!
+//! The autodiff [`crate::Graph`] owns one [`TensorPool`]. Ownership rules:
+//!
+//! * Output tensors of every tape operation are drawn from the pool
+//!   ([`TensorPool::alloc`] and friends) and live inside the tape's nodes.
+//! * On [`crate::Graph::reset`] every node value (and any leftover
+//!   gradient) is handed back via [`TensorPool::recycle`], so the next
+//!   forward pass over the same shapes performs **zero** fresh heap
+//!   allocations — the steady state the serving hot path runs in.
+//! * Buffers are keyed by **element count**, not shape: a recycled `[4, 6]`
+//!   tensor can satisfy a later `[24]` or `[2, 12]` request. The shape
+//!   vector is rewritten in place, so reuse allocates nothing.
+//! * Pooled tensors must never outlive the pool's owner across a reset —
+//!   callers that need a value past `reset` must clone it out (exactly what
+//!   `Graph::value(..).clone()` does).
+//!
+//! [`TensorPool::fresh_allocs`] counts pool *misses* (requests that had to
+//! allocate a brand-new buffer); tests assert it stays flat across repeat
+//! passes on a reset tape.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Recycling pool of tensor buffers keyed by element count.
+#[derive(Debug, Default)]
+pub struct TensorPool {
+    free: HashMap<usize, Vec<Tensor>>,
+    fresh_allocs: usize,
+    reuses: usize,
+}
+
+impl TensorPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tensor of `shape` with **unspecified contents** (fast path for
+    /// kernels that overwrite every element). Reuses a recycled buffer of
+    /// the same element count when one is available.
+    pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        match self.free.get_mut(&n).and_then(Vec::pop) {
+            Some(mut t) => {
+                self.reuses += 1;
+                t.reshape_in_place(shape);
+                t
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Tensor::zeros(shape.to_vec())
+            }
+        }
+    }
+
+    /// A zero-filled tensor of `shape`.
+    pub fn alloc_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let mut t = self.alloc(shape);
+        t.data_mut().fill(0.0);
+        t
+    }
+
+    /// A constant-filled tensor of `shape`.
+    pub fn alloc_full(&mut self, shape: &[usize], value: f32) -> Tensor {
+        let mut t = self.alloc(shape);
+        t.data_mut().fill(value);
+        t
+    }
+
+    /// A pooled copy of `src` (same shape, same contents).
+    pub fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.alloc(src.shape());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// A pooled tensor of `shape` initialised from a flat slice.
+    pub fn alloc_from_slice(&mut self, shape: &[usize], data: &[f32]) -> Tensor {
+        let mut t = self.alloc(shape);
+        assert_eq!(t.len(), data.len(), "alloc_from_slice: {shape:?} vs {} values", data.len());
+        t.data_mut().copy_from_slice(data);
+        t
+    }
+
+    /// Return a tensor's buffer to the pool for reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        if t.is_empty() {
+            return;
+        }
+        self.free.entry(t.len()).or_default().push(t);
+    }
+
+    /// Number of requests that could not be served from the free list and
+    /// allocated a fresh buffer. Flat across repeat passes = steady state.
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+
+    /// Number of requests served by recycling an existing buffer.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Total buffers currently parked on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_keyed_by_element_count_not_shape() {
+        let mut pool = TensorPool::new();
+        let t = pool.alloc_zeroed(&[4, 6]);
+        assert_eq!(pool.fresh_allocs(), 1);
+        pool.recycle(t);
+        // Same element count, different shape: served from the free list.
+        let t2 = pool.alloc(&[2, 12]);
+        assert_eq!(t2.shape(), &[2, 12]);
+        assert_eq!(pool.fresh_allocs(), 1);
+        assert_eq!(pool.reuses(), 1);
+        // Different element count: fresh allocation.
+        let t3 = pool.alloc(&[5]);
+        assert_eq!(t3.shape(), &[5]);
+        assert_eq!(pool.fresh_allocs(), 2);
+    }
+
+    #[test]
+    fn alloc_variants_initialise_contents() {
+        let mut pool = TensorPool::new();
+        let dirty = pool.alloc_full(&[3], 7.0);
+        pool.recycle(dirty);
+        let z = pool.alloc_zeroed(&[3]);
+        assert_eq!(z.data(), &[0.0, 0.0, 0.0]);
+        pool.recycle(z);
+        let f = pool.alloc_full(&[3], 2.5);
+        assert_eq!(f.data(), &[2.5, 2.5, 2.5]);
+        let c = pool.alloc_copy(&f);
+        assert_eq!(c.data(), f.data());
+        let s = pool.alloc_from_slice(&[2], &[1.0, -1.0]);
+        assert_eq!(s.data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let mut pool = TensorPool::new();
+        for _ in 0..3 {
+            let a = pool.alloc_zeroed(&[8, 8]);
+            let b = pool.alloc_zeroed(&[8]);
+            pool.recycle(a);
+            pool.recycle(b);
+        }
+        assert_eq!(pool.fresh_allocs(), 2, "only the first pass may allocate");
+        assert_eq!(pool.reuses(), 4);
+        assert_eq!(pool.free_buffers(), 2);
+    }
+
+    #[test]
+    fn empty_tensors_are_not_pooled() {
+        let mut pool = TensorPool::new();
+        pool.recycle(Tensor::zeros(vec![0]));
+        assert_eq!(pool.free_buffers(), 0);
+    }
+}

@@ -178,6 +178,21 @@ impl Tensor {
         Tensor { shape, data: self.data.clone() }
     }
 
+    /// Rewrite the shape in place (equal element count, no reallocation) —
+    /// the [`crate::TensorPool`] reuse path.
+    pub(crate) fn reshape_in_place(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape_in_place: {:?} -> {:?} size mismatch",
+            self.shape,
+            shape
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
     /// Apply `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
@@ -251,11 +266,8 @@ impl Tensor {
         self.data.iter().map(|&x| x * x).sum()
     }
 
-    /// Matrix product `self[m,k] @ other[k,n] -> [m,n]`.
-    ///
-    /// Inner loop is ordered `i-k-j` so the innermost traversal is sequential
-    /// over both the output row and the right-hand row, which lets LLVM
-    /// vectorise it without an explicit blocked kernel.
+    /// Matrix product `self[m,k] @ other[k,n] -> [m,n]`, computed by the
+    /// blocked kernel [`crate::kernels::matmul_into`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2, got {:?}", self.shape);
         assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2, got {:?}", other.shape);
@@ -263,19 +275,7 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dims differ {:?} x {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(&self.data, &other.data, m, k, n, &mut out);
         Tensor { shape: vec![m, n], data: out }
     }
 
@@ -284,11 +284,7 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "transpose: rank {} tensor", self.shape.len());
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        crate::kernels::transpose_into(&self.data, m, n, &mut out);
         Tensor { shape: vec![n, m], data: out }
     }
 

@@ -3,11 +3,25 @@
 
 use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
 use gaia_synth::Scaler;
-use gaia_tensor::{conv1d, Graph, PadMode, Tensor};
+use gaia_tensor::kernels::{
+    attention_scores_into, conv1d_fused_into, matmul_into, matmul_naive_into, matmul_nt_into,
+    matmul_tn_into, MATMUL_BLOCK,
+};
+use gaia_tensor::{conv1d, Activation, Graph, PadMode, Tensor};
 use gaia_timeseries::{acf, auto_arima};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Pick an activation from a sampled index (proptest-friendly enum choice).
+fn activation_from_index(i: usize) -> Activation {
+    match i % 4 {
+        0 => Activation::Identity,
+        1 => Activation::Relu,
+        2 => Activation::Sigmoid,
+        _ => Activation::Tanh,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -78,6 +92,139 @@ proptest! {
         let y1 = conv1d(&x2, &w, None, PadMode::Causal);
         for c in 0..2 {
             prop_assert!((y0.at(0, c) - y1.at(0, c)).abs() < 1e-5);
+        }
+    }
+
+    /// KERNEL PARITY — the blocked/unrolled matmul matches the naive
+    /// reference elementwise across random shapes, including dimensions
+    /// that are not multiples of the block size (the strided tail paths).
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Stretch some shapes across the block boundary so both the
+        // full-block and remainder paths are exercised.
+        let k = if seed % 3 == 0 { k + MATMUL_BLOCK } else { k };
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let mut naive = vec![0.0f32; m * n];
+        matmul_naive_into(a.data(), b.data(), m, k, n, &mut naive);
+        let mut blocked = vec![0.0f32; m * n];
+        matmul_into(a.data(), b.data(), m, k, n, &mut blocked);
+        for (i, (x, y)) in blocked.iter().zip(&naive).enumerate() {
+            prop_assert!(
+                (x - y).abs() < 1e-3 + 1e-4 * y.abs(),
+                "matmul {m}x{k}x{n} elem {i}: blocked {x} vs naive {y}"
+            );
+        }
+    }
+
+    /// KERNEL PARITY — the transposed-operand matmuls (backward-pass
+    /// kernels) match naive-matmul-with-explicit-transpose.
+    #[test]
+    fn transposed_matmul_kernels_match_reference(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // NT: a[m,k] @ b[n,k]ᵀ.
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::randn(vec![n, k], 1.0, &mut rng);
+        let bt = b.transpose();
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive_into(a.data(), bt.data(), m, k, n, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        matmul_nt_into(a.data(), b.data(), m, k, n, &mut got);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-3 + 1e-4 * y.abs(), "nt: {x} vs {y}");
+        }
+        // TN: a[k,m]ᵀ @ b[k,n].
+        let a2 = Tensor::randn(vec![k, m], 1.0, &mut rng);
+        let b2 = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let a2t = a2.transpose();
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive_into(a2t.data(), b2.data(), m, k, n, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        matmul_tn_into(a2.data(), b2.data(), k, m, n, &mut got);
+        for (x, y) in got.iter().zip(&want) {
+            prop_assert!((x - y).abs() < 1e-3 + 1e-4 * y.abs(), "tn: {x} vs {y}");
+        }
+    }
+
+    /// KERNEL PARITY — the fused conv1d+bias+activation matches the naive
+    /// reference conv followed by a separate bias/activation sweep, for
+    /// both paddings, random kernel widths (including wider-than-window)
+    /// and every activation.
+    #[test]
+    fn fused_conv1d_matches_naive_reference(
+        t_len in 1usize..20,
+        c_in in 1usize..5,
+        c_out in 1usize..5,
+        kw in 1usize..7,
+        act_idx in 0usize..4,
+        with_bias in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let act = activation_from_index(act_idx);
+        let x = Tensor::randn(vec![t_len, c_in], 1.0, &mut rng);
+        let w = Tensor::randn(vec![kw, c_in, c_out], 0.5, &mut rng);
+        let b = Tensor::randn(vec![c_out], 0.5, &mut rng);
+        let bias = (with_bias == 1).then_some(&b);
+        for pad in [PadMode::Same, PadMode::Causal] {
+            let want = conv1d(&x, &w, bias, pad).map(|v| act.apply(v));
+            let mut got = vec![0.0f32; t_len * c_out];
+            conv1d_fused_into(
+                x.data(), w.data(), bias.map(|t| t.data()),
+                t_len, c_in, c_out, kw, pad, act, &mut got,
+            );
+            for (i, (g, e)) in got.iter().zip(want.data()).enumerate() {
+                prop_assert!(
+                    (g - e).abs() < 1e-3 + 1e-4 * e.abs(),
+                    "conv {pad:?} {act:?} elem {i}: fused {g} vs naive {e}"
+                );
+            }
+        }
+    }
+
+    /// KERNEL PARITY — fused attention scores equal the unfused
+    /// transpose → naive matmul → scale → mask pipeline.
+    #[test]
+    fn fused_attention_scores_match_reference(
+        t_q in 1usize..12,
+        t_k in 1usize..12,
+        c in 1usize..16,
+        masked in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::randn(vec![t_q, c], 1.0, &mut rng);
+        let k = Tensor::randn(vec![t_k, c], 1.0, &mut rng);
+        let mask = Tensor::randn(vec![t_q, t_k], 2.0, &mut rng);
+        let scale = 1.0 / (c as f32).sqrt();
+        let kt = k.transpose();
+        let mut want = vec![0.0f32; t_q * t_k];
+        matmul_naive_into(q.data(), kt.data(), t_q, c, t_k, &mut want);
+        let mask_slice = (masked == 1).then_some(mask.data());
+        for (i, w) in want.iter_mut().enumerate() {
+            *w *= scale;
+            if let Some(m) = mask_slice {
+                *w += m[i];
+            }
+        }
+        let mut scratch = vec![0.0f32; t_k * c];
+        let mut got = vec![0.0f32; t_q * t_k];
+        attention_scores_into(
+            q.data(), k.data(), t_q, t_k, c, scale, mask_slice, &mut scratch, &mut got,
+        );
+        for (g, e) in got.iter().zip(&want) {
+            prop_assert!((g - e).abs() < 1e-3 + 1e-4 * e.abs(), "scores: {g} vs {e}");
         }
     }
 
