@@ -5,9 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gaia_tensor::kernels::{
-    attention_scores_into, conv1d_fused_into, matmul_into, matmul_naive_into,
+    attention_probs_causal_into, attention_scores_into, conv1d_fused_into, matmul_batched_into,
+    matmul_into, matmul_naive_into, matmul_tri_lower_into,
 };
-use gaia_tensor::{conv1d, Activation, PadMode, Tensor};
+use gaia_tensor::{conv1d, softmax_in_place, Activation, PadMode, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -151,11 +152,110 @@ fn bench_attention_scores_fused_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR-4 batch dispatch: one stacked GEMM over B right-hand sides
+/// (`matmul_batched_into`) vs B separate blocked matmuls, at the
+/// prediction-head shape (B × [1, 24] @ [24, 3]) and a square one.
+fn bench_matmul_batched_vs_looped(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("matmul_batched_vs_looped");
+    for &(bt, m, k, n) in &[(16usize, 1usize, 24usize, 3usize), (8, 24, 24, 24)] {
+        let a = Tensor::randn(vec![bt, m, k], 1.0, &mut rng);
+        let w = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; bt * m * n];
+        let label = format!("{bt}x{m}x{k}x{n}");
+        group.bench_with_input(BenchmarkId::new("looped", &label), &bt, |bench, _| {
+            bench.iter(|| {
+                for i in 0..bt {
+                    matmul_into(
+                        &a.data()[i * m * k..(i + 1) * m * k],
+                        w.data(),
+                        m,
+                        k,
+                        n,
+                        &mut out[i * m * n..(i + 1) * m * n],
+                    );
+                }
+                black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", &label), &bt, |bench, _| {
+            bench.iter(|| {
+                matmul_batched_into(a.data(), w.data(), bt, m, k, n, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// PR-4 fused causal attention probabilities (blocked scores + prefix-only
+/// softmax, one kernel) vs the unfused masked scores → full row softmax
+/// pipeline, plus the triangular `probs @ V` vs the full blocked matmul —
+/// the two kernels the batched CAU dispatches per message set.
+fn bench_causal_attention_batched_vs_unfused(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let (t, ch) = (24usize, 8usize);
+    let q = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let k = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let v = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let mut mask = vec![0.0f32; t * t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            mask[i * t + j] = -1e9;
+        }
+    }
+    let scale = 1.0 / (ch as f32).sqrt();
+    let mut scratch = vec![0.0f32; t * ch];
+    let mut probs = vec![0.0f32; t * t];
+    let mut out = vec![0.0f32; t * ch];
+    let mut group = c.benchmark_group("causal_attention_fused_vs_unfused");
+    group.bench_function("unfused_scores_softmax", |bench| {
+        bench.iter(|| {
+            attention_scores_into(
+                q.data(),
+                k.data(),
+                t,
+                t,
+                ch,
+                scale,
+                Some(&mask),
+                &mut scratch,
+                &mut probs,
+            );
+            for row in probs.chunks_mut(t) {
+                softmax_in_place(row);
+            }
+            black_box(probs[0])
+        });
+    });
+    group.bench_function("fused_causal_probs", |bench| {
+        bench.iter(|| {
+            attention_probs_causal_into(q.data(), k.data(), t, ch, scale, &mut scratch, &mut probs);
+            black_box(probs[0])
+        });
+    });
+    attention_probs_causal_into(q.data(), k.data(), t, ch, scale, &mut scratch, &mut probs);
+    group.bench_function("probs_at_v_full", |bench| {
+        bench.iter(|| {
+            matmul_into(&probs, v.data(), t, t, ch, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.bench_function("probs_at_v_triangular", |bench| {
+        bench.iter(|| {
+            matmul_tri_lower_into(&probs, v.data(), t, ch, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_matmul, bench_attention_shapes, bench_conv1d,
         bench_matmul_blocked_vs_naive, bench_conv1d_fused_vs_naive,
-        bench_attention_scores_fused_vs_naive
+        bench_attention_scores_fused_vs_naive, bench_matmul_batched_vs_looped,
+        bench_causal_attention_batched_vs_unfused
 }
 criterion_main!(benches);

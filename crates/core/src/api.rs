@@ -21,10 +21,36 @@ use gaia_tensor::{Graph, Tensor, VarId};
 /// precompute) and a **local** overlay for entries inserted by this holder.
 /// Cloning a shared cache is an `Arc` bump, not a deep copy of the tensors,
 /// so handing one to every serving worker is cheap.
+/// Slots of the per-node **layer-0 projection cache** (see
+/// [`EmbedCache::get_proj`]): the CAU's Q/K/V conv projections and the
+/// ITA aggregation gate's source/destination projections, all evaluated on
+/// the node's embedding `E_v`. Like `E_v` itself, these depend only on the
+/// node's features and the parameters — never on the ego subgraph — so the
+/// serving path can precompute them at publish time and skip the
+/// per-request convolutions entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProjSlot {
+    /// `Q_v = L^Q ⋆ E_v` (`[T, C]`, used when `v` aggregates).
+    Q,
+    /// `K_v = L^K ⋆ E_v` (`[T, C]`).
+    K,
+    /// `V_v = L^V ⋆ E_v` (`[T, C]`).
+    V,
+    /// Gate source projection `L^s ⋆ E_v` (`[T, 1]`).
+    GateSrc,
+    /// Gate destination projection `L^d ⋆ E_v` (`[T, 1]`).
+    GateDst,
+}
+
+/// One node's cached projections, filled lazily per slot.
+type ProjEntry = [Option<Tensor>; 5];
+
 #[derive(Clone, Debug, Default)]
 pub struct EmbedCache {
     shared: Option<std::sync::Arc<std::collections::HashMap<usize, Tensor>>>,
     local: std::collections::HashMap<usize, Tensor>,
+    proj_shared: Option<std::sync::Arc<std::collections::HashMap<usize, ProjEntry>>>,
+    proj_local: std::collections::HashMap<usize, ProjEntry>,
 }
 
 impl EmbedCache {
@@ -57,11 +83,42 @@ impl EmbedCache {
         self.len() == 0
     }
 
-    /// Drop every cached embedding, shared and local (required after a
-    /// parameter or dataset change).
+    /// Drop every cached embedding **and projection**, shared and local
+    /// (required after a parameter or dataset change — projections are
+    /// functions of the same parameters the embeddings are).
     pub fn clear(&mut self) {
         self.shared = None;
         self.local.clear();
+        self.proj_shared = None;
+        self.proj_local.clear();
+    }
+
+    /// Cached layer-0 projection `slot` of `node`, if present (local
+    /// overlay first, then the shared base — per slot, so a partially
+    /// filled local entry still falls through to shared slots).
+    pub fn get_proj(&self, node: usize, slot: ProjSlot) -> Option<&Tensor> {
+        let i = slot as usize;
+        self.proj_local
+            .get(&node)
+            .and_then(|e| e[i].as_ref())
+            .or_else(|| self.proj_shared.as_ref()?.get(&node)?[i].as_ref())
+    }
+
+    /// Store layer-0 projection `slot` of `node` (local overlay). The
+    /// value must be bit-identical to evaluating the projection on the
+    /// node's cached embedding — callers insert exactly what the tape
+    /// computed, so cache hits can never change a prediction.
+    pub fn insert_proj(&mut self, node: usize, slot: ProjSlot, value: Tensor) {
+        self.proj_local.entry(node).or_default()[slot as usize] = Some(value);
+    }
+
+    /// Number of nodes with at least one cached projection slot.
+    pub fn cached_projections(&self) -> usize {
+        let shared = self.proj_shared.as_deref();
+        let shared_len = shared.map_or(0, |s| s.len());
+        let overlay_only =
+            self.proj_local.keys().filter(|k| !shared.is_some_and(|s| s.contains_key(k))).count();
+        shared_len + overlay_only
     }
 
     /// Freeze this cache into its cheaply cloneable shared form: all
@@ -72,7 +129,17 @@ impl EmbedCache {
             None => std::collections::HashMap::new(),
         };
         map.extend(self.local.drain());
-        Self { shared: Some(std::sync::Arc::new(map)), local: std::collections::HashMap::new() }
+        let mut proj = match self.proj_shared {
+            Some(arc) => std::sync::Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            None => std::collections::HashMap::new(),
+        };
+        proj.extend(self.proj_local.drain());
+        Self {
+            shared: Some(std::sync::Arc::new(map)),
+            local: std::collections::HashMap::new(),
+            proj_shared: Some(std::sync::Arc::new(proj)),
+            proj_local: std::collections::HashMap::new(),
+        }
     }
 }
 
@@ -108,6 +175,26 @@ pub trait GraphForecaster: Sync {
         _cache: &mut EmbedCache,
     ) -> VarId {
         self.forward_center(g, ds, ego)
+    }
+
+    /// Batched inference pass: build the forward graphs of several
+    /// requests on **one** tape, returning one `[1, horizon]` prediction
+    /// node per ego subgraph (in input order).
+    ///
+    /// Contract: the outputs must be element-wise **bit-identical** to
+    /// calling [`GraphForecaster::forward_center_cached`] once per ego —
+    /// batching may only amortise work (shared tape, hoisted invariant
+    /// projections, stacked kernels), never change the arithmetic. The
+    /// default implementation is that per-ego loop; models override it
+    /// with a genuinely batched graph (see `Gaia`).
+    fn forward_centers_cached(
+        &self,
+        g: &mut Graph,
+        ds: &Dataset,
+        egos: &[&EgoSubgraph],
+        cache: &mut EmbedCache,
+    ) -> Vec<VarId> {
+        egos.iter().map(|ego| self.forward_center_cached(g, ds, ego, cache)).collect()
     }
 }
 

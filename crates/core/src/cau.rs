@@ -17,8 +17,9 @@
 //! replaces this with traditional self-attention: pointwise (width-1)
 //! projections and no mask.
 
+use crate::api::{EmbedCache, ProjSlot};
 use gaia_nn::{causal_mask, Conv1d, ParamStore};
-use gaia_tensor::{Graph, PadMode, Tensor, VarId};
+use gaia_tensor::{Activation, Graph, PadMode, Tensor, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -90,6 +91,136 @@ impl ConvolutionalAttentionUnit {
     pub fn is_masked(&self) -> bool {
         self.mask.is_some()
     }
+
+    /// Batched `CAU(H_u, H_v)` over one shared `h_u` and a set of partners
+    /// `h_vs` (a node's self term plus its neighbour messages), returning
+    /// one message per partner.
+    ///
+    /// Bit-identical to calling [`Self::forward`] per pair — same kernels,
+    /// same per-element summation order — but structurally cheaper:
+    ///
+    /// * the query projection `Q_u = L^Q ⋆ H_u` is computed **once** and
+    ///   shared across every pair (per-pair calls recompute it);
+    /// * `K`/`V` projections run as one batched conv node each (weights
+    ///   bound once for the whole partner set);
+    /// * the masked variant dispatches to the fused causal
+    ///   scores + softmax kernel, which never materialises the upper
+    ///   triangle (`exp` of masked entries underflows to exactly `0.0`, so
+    ///   skipping them is bit-exact — see
+    ///   `gaia_tensor::kernels::attention_probs_causal_into`).
+    pub fn forward_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        h_u: VarId,
+        h_vs: &[VarId],
+    ) -> Vec<VarId> {
+        assert!(!h_vs.is_empty(), "forward_batched: no partners");
+        let q = self.lq.forward(g, ps, h_u);
+        let stack = g.stack_rows(h_vs);
+        let k = self.lk.forward_act_batched(g, ps, stack, Activation::Identity);
+        let v = self.lv.forward_act_batched(g, ps, stack, Activation::Identity);
+        self.attend_batched(g, q, k, v, h_vs.len())
+    }
+
+    /// Shared attention tail of the batched CAU paths: probabilities from
+    /// the stacked K (fused causal kernel when masked, unmasked scores +
+    /// row softmax for the ablation), one strided `probs @ V`, and the
+    /// per-partner message slices.
+    fn attend_batched(&self, g: &mut Graph, q: VarId, k: VarId, v: VarId, bt: usize) -> Vec<VarId> {
+        let scale = 1.0 / (self.channels as f32).sqrt();
+        match self.mask.as_deref() {
+            // Paper CAU: fused causal scores + softmax (lower triangle
+            // only), then the triangular `probs @ V` kernel.
+            Some(_) => {
+                let probs = g.attention_probs_causal_batched(q, k, scale);
+                let msgs = g.matmul_strided_tri(probs, v);
+                (0..bt).map(|i| g.slice_batch(msgs, i)).collect()
+            }
+            // "w/o ITA" ablation: unmasked scores, then the plain row-wise
+            // softmax over the flattened batch (softmax is row-independent,
+            // so reshaping through [bt·T, T] is bit-exact).
+            None => {
+                let t = g.value(q).shape()[0];
+                let scores = g.attention_scores_batched(q, k, scale, None);
+                let flat = g.reshape(scores, vec![bt * t, t]);
+                let soft = g.softmax_rows(flat, None);
+                let probs = g.reshape(soft, vec![bt, t, t]);
+                let msgs = g.matmul_strided(probs, v);
+                (0..bt).map(|i| g.slice_batch(msgs, i)).collect()
+            }
+        }
+    }
+
+    /// [`Self::forward_batched`] drawing Q/K/V from the layer-0 projection
+    /// cache: projections of a node's **embedding** depend only on the
+    /// parameters, so a cache hit replaces a conv dispatch with a pooled
+    /// copy of the exact tensor that conv would produce (misses compute on
+    /// the tape and populate the cache). Only valid when every partner
+    /// state is the node's embedding `E_v` — i.e. the first ITA layer.
+    pub fn forward_batched_cached(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        h_u: VarId,
+        u_node: usize,
+        partners: &[(VarId, usize)],
+        cache: &mut EmbedCache,
+    ) -> Vec<VarId> {
+        assert!(!partners.is_empty(), "forward_batched_cached: no partners");
+        let q = proj_cached(g, ps, &self.lq, ProjSlot::Q, h_u, u_node, cache);
+        let ks: Vec<VarId> = partners
+            .iter()
+            .map(|&(h_v, node)| proj_cached(g, ps, &self.lk, ProjSlot::K, h_v, node, cache))
+            .collect();
+        let vs: Vec<VarId> = partners
+            .iter()
+            .map(|&(h_v, node)| proj_cached(g, ps, &self.lv, ProjSlot::V, h_v, node, cache))
+            .collect();
+        let k = g.stack_rows(&ks);
+        let v = g.stack_rows(&vs);
+        self.attend_batched(g, q, k, v, partners.len())
+    }
+
+    /// Precompute this CAU's Q/K/V projections of `e` (a node's embedding
+    /// on tape `g`) into `cache` — the publish-time half of the cached
+    /// batched dispatch.
+    pub fn precompute_projections(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        e: VarId,
+        node: usize,
+        cache: &mut EmbedCache,
+    ) {
+        for (conv, slot) in
+            [(&self.lq, ProjSlot::Q), (&self.lk, ProjSlot::K), (&self.lv, ProjSlot::V)]
+        {
+            let var = conv.forward(g, ps, e);
+            cache.insert_proj(node, slot, g.value(var).clone());
+        }
+    }
+}
+
+/// One layer-0 projection, served from the cache when present or computed
+/// on the tape and inserted. The single cache-or-compute point for every
+/// projection slot (CAU Q/K/V and the ITA gate projections), so hit
+/// semantics can never diverge between paths.
+pub(crate) fn proj_cached(
+    g: &mut Graph,
+    ps: &ParamStore,
+    conv: &Conv1d,
+    slot: ProjSlot,
+    state: VarId,
+    node: usize,
+    cache: &mut EmbedCache,
+) -> VarId {
+    if let Some(t) = cache.get_proj(node, slot) {
+        return g.constant_from(t);
+    }
+    let var = conv.forward(g, ps, state);
+    cache.insert_proj(node, slot, g.value(var).clone());
+    var
 }
 
 #[cfg(test)]

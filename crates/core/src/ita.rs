@@ -17,11 +17,12 @@
 //! homogeneous and carries the relationship kind as an edge *feature*; a
 //! type-conditioned logit is the minimal faithful realisation of that.
 
+use crate::api::{EmbedCache, ProjSlot};
 use crate::cau::ConvolutionalAttentionUnit;
 use crate::config::{GaiaConfig, GaiaVariant};
 use gaia_graph::{EdgeType, EgoSubgraph};
 use gaia_nn::{init, Conv1d, ParamId, ParamStore};
-use gaia_tensor::{Graph, PadMode, VarId};
+use gaia_tensor::{Activation, Graph, PadMode, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,173 @@ impl ItaGcnLayer {
         }
         weighted.push(self_term);
         g.sum_vars(&weighted)
+    }
+
+    /// Batched-dispatch variant of [`Self::forward_node`]: the node's self
+    /// term and all neighbour messages run through **one** batched CAU
+    /// (shared hoisted query, fused causal attention), the gate's source
+    /// projection `L^s ⋆ H_u` is computed once instead of per neighbour,
+    /// and the neighbour logits collapse into one stacked conv + one GEMM
+    /// against `µ`.
+    ///
+    /// Bit-identical to [`Self::forward_node`]: every reused projection is
+    /// the same op on the same input (recomputing it per pair yields the
+    /// same bits), batched kernels are per-member-exact, and the final
+    /// α-weighted aggregation preserves the same summand order.
+    pub fn forward_node_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        h: &[VarId],
+        ego: &EgoSubgraph,
+        u: usize,
+    ) -> VarId {
+        self.forward_node_dispatch(g, ps, h, ego, u, None)
+    }
+
+    /// [`Self::forward_node_batched`] with the **layer-0 projection
+    /// cache**: Q/K/V and the gate projections are pure functions of a
+    /// node's embedding, so on the first ITA layer (where every state *is*
+    /// the embedding `E_v`) they are served from `cache` instead of being
+    /// convolved per request — the serving snapshot precomputes them all
+    /// at publish time. Misses compute on the tape and populate the cache;
+    /// hits are pooled copies of the exact tensors those convs produce, so
+    /// values stay bit-identical to [`Self::forward_node`].
+    pub fn forward_node_cached(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        h: &[VarId],
+        ego: &EgoSubgraph,
+        u: usize,
+        cache: &mut EmbedCache,
+    ) -> VarId {
+        self.forward_node_dispatch(g, ps, h, ego, u, Some(cache))
+    }
+
+    /// One body for both batched unit variants — they differ only in how
+    /// projections are obtained (tape convs vs the layer-0 cache), so the
+    /// partner assembly, gate construction and summand order can never
+    /// drift apart.
+    fn forward_node_dispatch(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        h: &[VarId],
+        ego: &EgoSubgraph,
+        u: usize,
+        mut cache: Option<&mut EmbedCache>,
+    ) -> VarId {
+        let neighbors = ego.neighbors(u);
+        let u_node = ego.nodes[u] as usize;
+        // Partner order: neighbours first, self term last, so the final
+        // sum_vars matches forward_node's summand order exactly.
+        let mut partners: Vec<(VarId, usize)> = neighbors
+            .iter()
+            .map(|nb| (h[nb.local as usize], ego.nodes[nb.local as usize] as usize))
+            .collect();
+        partners.push((h[u], u_node));
+        let msgs = match cache.as_deref_mut() {
+            Some(cache) => self.cau.forward_batched_cached(g, ps, h[u], u_node, &partners, cache),
+            None => {
+                let states: Vec<VarId> = partners.iter().map(|&(state, _)| state).collect();
+                self.cau.forward_batched(g, ps, h[u], &states)
+            }
+        };
+        let self_term = msgs[neighbors.len()];
+        if neighbors.is_empty() {
+            return self_term;
+        }
+        // Aggregation gate, batched: g(u,v) = µᵀ tanh(L^s⋆H_u + L^d⋆H_v) + β;
+        // su is computed once and shared across the neighbour set.
+        let (su, dv) = match cache {
+            Some(cache) => {
+                let su = crate::cau::proj_cached(
+                    g,
+                    ps,
+                    &self.l_s,
+                    ProjSlot::GateSrc,
+                    h[u],
+                    u_node,
+                    cache,
+                );
+                let dvs: Vec<VarId> = partners[..neighbors.len()]
+                    .iter()
+                    .map(|&(state, node)| {
+                        crate::cau::proj_cached(
+                            g,
+                            ps,
+                            &self.l_d,
+                            ProjSlot::GateDst,
+                            state,
+                            node,
+                            cache,
+                        )
+                    })
+                    .collect();
+                (su, g.stack_rows(&dvs)) // [nb, T, 1]
+            }
+            None => {
+                let su = self.l_s.forward(g, ps, h[u]); // [T, 1]
+                let nb_states: Vec<VarId> =
+                    partners[..neighbors.len()].iter().map(|&(state, _)| state).collect();
+                let nb_stack = g.stack_rows(&nb_states);
+                (su, self.l_d.forward_act_batched(g, ps, nb_stack, Activation::Identity))
+            }
+        };
+        let t = g.value(su).shape()[0];
+        let su_tiled = g.stack_rows(&vec![su; neighbors.len()]);
+        let summed = g.add(su_tiled, dv);
+        let gated = g.tanh(summed);
+        self.combine_gated(g, ps, neighbors, &msgs, gated, t)
+    }
+
+    /// Shared tail of the batched gate: `µᵀ`-scores, edge-type biases,
+    /// softmax α and the α-weighted message aggregation (self term last).
+    fn combine_gated(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        neighbors: &[gaia_graph::LocalNeighbor],
+        msgs: &[VarId],
+        gated: VarId,
+        t: usize,
+    ) -> VarId {
+        let gated_rows = g.reshape(gated, vec![neighbors.len(), t]); // [nb, T]
+        let mu = ps.bind(g, self.mu); // [1, T]
+        let mu_col = g.transpose(mu); // [T, 1] (column layout == row layout)
+        let scores = g.matmul(gated_rows, mu_col); // [nb, 1] — one GEMM
+        let scores_vec = g.reshape(scores, vec![neighbors.len()]);
+        let bias_vec = ps.bind(g, self.edge_bias);
+        let types: Vec<usize> = neighbors.iter().map(|nb| nb.ty.feature_index()).collect();
+        let biases = g.gather_vec(bias_vec, &types);
+        let logits = g.add(scores_vec, biases);
+        let alphas = g.softmax_vec(logits);
+        let mut weighted = Vec::with_capacity(neighbors.len() + 1);
+        for (i, &msg) in msgs.iter().take(neighbors.len()).enumerate() {
+            let a = g.index_vec(alphas, i);
+            weighted.push(g.mul_scalar(msg, a));
+        }
+        weighted.push(msgs[neighbors.len()]);
+        g.sum_vars(&weighted)
+    }
+
+    /// Publish-time precompute of every layer-0 projection of `e` (one
+    /// node's embedding on tape `g`): the CAU's Q/K/V plus the gate's
+    /// source/destination projections.
+    pub fn precompute_node_projections(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        e: VarId,
+        node: usize,
+        cache: &mut EmbedCache,
+    ) {
+        self.cau.precompute_projections(g, ps, e, node, cache);
+        let su = self.l_s.forward(g, ps, e);
+        cache.insert_proj(node, ProjSlot::GateSrc, g.value(su).clone());
+        let dv = self.l_d.forward(g, ps, e);
+        cache.insert_proj(node, ProjSlot::GateDst, g.value(dv).clone());
     }
 
     /// Attention weights `α_{u,·}` over the neighbours of local node `u`,

@@ -28,7 +28,7 @@ pub mod model;
 pub mod tel;
 pub mod trainer;
 
-pub use api::{EmbedCache, GraphForecaster};
+pub use api::{EmbedCache, GraphForecaster, ProjSlot};
 pub use cau::ConvolutionalAttentionUnit;
 pub use config::{GaiaConfig, GaiaVariant};
 pub use ffl::FeatureFusionLayer;
@@ -36,6 +36,6 @@ pub use ita::{AttentionDetail, ItaGcnLayer};
 pub use model::Gaia;
 pub use tel::TemporalEmbeddingLayer;
 pub use trainer::{
-    evaluate_loss, predict_nodes, predict_one_with, train, InferenceScratch, Prediction,
-    TrainConfig, TrainReport,
+    evaluate_loss, predict_batch_with, predict_nodes, predict_one_with, train, InferenceScratch,
+    Prediction, TrainConfig, TrainReport,
 };

@@ -8,7 +8,7 @@ use crate::ita::{AttentionDetail, ItaGcnLayer};
 use crate::tel::TemporalEmbeddingLayer;
 use gaia_graph::{EgoConfig, EgoSubgraph};
 use gaia_nn::{init, Conv1d, ParamId, ParamStore};
-use gaia_tensor::{Graph, PadMode, Tensor, VarId};
+use gaia_tensor::{Activation, Graph, PadMode, Tensor, VarId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,30 @@ impl PredictionHead {
         let bp = ps.bind(g, self.b_p);
         let out = g.add_bias(proj, bp);
         g.relu(out)
+    }
+
+    /// Batched head over `(H^{(L)}_u, E_u)` pairs from several requests:
+    /// one stacked pooling conv and **one** blocked GEMM against `W_P`
+    /// replace per-request conv/transpose/matmul/bias/relu chains.
+    /// Bit-identical per request to [`PredictionHead::forward`] (a `[T, 1]`
+    /// column transposes to `[1, T]` without moving data, the stacked GEMM
+    /// computes rows independently, and `relu(x + b)` fuses exactly).
+    fn forward_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        pairs: &[(VarId, VarId)],
+    ) -> Vec<VarId> {
+        let sums: Vec<VarId> = pairs.iter().map(|&(h, e)| g.add(h, e)).collect();
+        let stacked = g.stack_rows(&sums); // [B, T, C]
+        let pooled = self.l_p.forward_act_batched(g, ps, stacked, Activation::Identity); // [B, T, 1]
+        let b = pairs.len();
+        let t = g.value(pooled).shape()[1];
+        let rows = g.reshape(pooled, vec![b, 1, t]); // [B, 1, T] — layout-free
+        let wp = ps.bind(g, self.w_p);
+        let bp = ps.bind(g, self.b_p);
+        let out = g.linear_batched(rows, wp, Some(bp), Activation::Relu); // [B, 1, T']
+        (0..b).map(|i| g.slice_batch(out, i)).collect()
     }
 }
 
@@ -104,8 +128,34 @@ impl Gaia {
         g: &mut Graph,
         ds: &gaia_synth::Dataset,
         ego: &EgoSubgraph,
-        mut cache: Option<&mut EmbedCache>,
+        cache: Option<&mut EmbedCache>,
     ) -> (Vec<VarId>, Vec<VarId>) {
+        let e = self.embed_locals(g, ds, ego, cache);
+        let l_max = self.layers.len();
+        let mut h = e.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let l = li + 1;
+            let mut next = h.clone();
+            for u in 0..ego.len() {
+                if (ego.hops[u] as usize) <= l_max - l {
+                    next[u] = layer.forward_node(g, &self.ps, &h, ego, u);
+                }
+            }
+            h = next;
+        }
+        (e, h)
+    }
+
+    /// The embedding stage shared by the per-request and batched forward
+    /// passes: `E_v` for every local node of `ego`, served from `cache`
+    /// when possible (cache entries are bit-identical to fresh computes).
+    fn embed_locals(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+        mut cache: Option<&mut EmbedCache>,
+    ) -> Vec<VarId> {
         let n = ego.len();
         let mut e: Vec<VarId> = Vec::with_capacity(n);
         for v in 0..n {
@@ -125,14 +175,37 @@ impl Gaia {
             };
             e.push(var);
         }
+        e
+    }
+
+    /// [`Gaia::propagate_with`] dispatching every refreshed node through
+    /// the batched ITA unit ([`ItaGcnLayer::forward_node_batched`]):
+    /// hoisted query/gate projections and fused causal attention over the
+    /// node's whole message set. Values are bit-identical to
+    /// [`Gaia::propagate_with`].
+    fn propagate_batched(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        ego: &EgoSubgraph,
+        cache: &mut EmbedCache,
+    ) -> (Vec<VarId>, Vec<VarId>) {
+        let e = self.embed_locals(g, ds, ego, Some(&mut *cache));
         let l_max = self.layers.len();
         let mut h = e.clone();
         for (li, layer) in self.layers.iter().enumerate() {
             let l = li + 1;
             let mut next = h.clone();
-            for u in 0..n {
+            for u in 0..ego.len() {
                 if (ego.hops[u] as usize) <= l_max - l {
-                    next[u] = layer.forward_node(g, &self.ps, &h, ego, u);
+                    // On the first layer every state is the node's
+                    // embedding, so the projection cache applies; deeper
+                    // layers see computed states and convolve on the tape.
+                    next[u] = if li == 0 {
+                        layer.forward_node_cached(g, &self.ps, &h, ego, u, cache)
+                    } else {
+                        layer.forward_node_batched(g, &self.ps, &h, ego, u)
+                    };
                 }
             }
             h = next;
@@ -189,6 +262,12 @@ impl Gaia {
             g.reset();
             let e = self.embed(&mut g, ds, node);
             cache.insert(node, g.value(e).clone());
+            // Layer-0 CAU + gate projections are functions of E_v and the
+            // parameters alone — precompute them alongside the embedding
+            // so the batched request path skips those convs entirely.
+            if let Some(layer0) = self.layers.first() {
+                layer0.precompute_node_projections(&mut g, &self.ps, e, node, &mut cache);
+            }
         }
         cache
     }
@@ -242,6 +321,30 @@ impl GraphForecaster for Gaia {
     ) -> VarId {
         let (e, h) = self.propagate_with(g, ds, ego, Some(cache));
         self.head.forward(g, &self.ps, h[0], e[0])
+    }
+
+    /// Gaia's batched inference pass: per-request propagation through the
+    /// batched ITA units (hoisted projections, fused causal attention, one
+    /// weight bind per message set) and **one** stacked prediction head
+    /// across all requests. Bit-identical per request to
+    /// [`GraphForecaster::forward_center_cached`] — the parity contract
+    /// `tests/proptest_invariants.rs` pins for batch sizes 1..=16.
+    fn forward_centers_cached(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        egos: &[&EgoSubgraph],
+        cache: &mut EmbedCache,
+    ) -> Vec<VarId> {
+        if egos.is_empty() {
+            return Vec::new();
+        }
+        let mut pairs = Vec::with_capacity(egos.len());
+        for ego in egos {
+            let (e, h) = self.propagate_batched(g, ds, ego, cache);
+            pairs.push((h[0], e[0]));
+        }
+        self.head.forward_batched(g, &self.ps, &pairs)
     }
 }
 

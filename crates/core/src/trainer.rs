@@ -7,7 +7,7 @@
 //! because the parameter store is only read during forward/backward.
 
 use crate::api::GraphForecaster;
-use gaia_graph::{extract_ego_into, EgoScratch, EsellerGraph};
+use gaia_graph::{extract_ego_into, EgoScratch, EgoSubgraph, EsellerGraph};
 use gaia_nn::{Adam, ParamStore};
 use gaia_synth::Dataset;
 use gaia_tensor::{Graph, Tensor};
@@ -246,13 +246,23 @@ pub struct Prediction {
 pub struct InferenceScratch {
     tape: Graph,
     ego: EgoScratch,
+    /// One ego workspace per batch slot for [`predict_batch_with`] (all
+    /// egos of a batch must be alive at once); grown on demand and reused,
+    /// so a warmed scratch serves any batch up to its high-water size
+    /// without fresh allocations.
+    ego_batch: Vec<EgoScratch>,
     cache: crate::api::EmbedCache,
 }
 
 impl InferenceScratch {
     /// Fresh scratch with a forward-only tape and an empty embedding cache.
     pub fn new() -> Self {
-        Self { tape: Graph::for_inference(), ego: EgoScratch::new(), cache: Default::default() }
+        Self {
+            tape: Graph::for_inference(),
+            ego: EgoScratch::new(),
+            ego_batch: Vec::new(),
+            cache: Default::default(),
+        }
     }
 
     /// Drop all cached node embeddings. Required whenever the model
@@ -271,6 +281,12 @@ impl InferenceScratch {
     /// Number of nodes with a cached embedding.
     pub fn cached_embeddings(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of nodes with cached layer-0 projections (the batched
+    /// path's publish-time precompute; see `EmbedCache::get_proj`).
+    pub fn cached_projections(&self) -> usize {
+        self.cache.cached_projections()
     }
 
     /// Fresh heap buffers the reused tape has ever allocated (pool misses).
@@ -303,6 +319,67 @@ pub fn predict_one_with<M: GraphForecaster + ?Sized>(
         node: center,
         model_space: t.data().to_vec(),
         currency: ds.denormalize_prediction(t),
+    }
+}
+
+/// Predict a batch of centres on **one** packed tape, reusing `scratch`.
+///
+/// The tape is reset once per batch instead of once per request, every ego
+/// subgraph is extracted up front (per-slot workspaces inside `scratch`),
+/// and the model builds all forward graphs through
+/// [`GraphForecaster::forward_centers_cached`] — for Gaia that means
+/// hoisted projections, fused causal attention and a single stacked
+/// prediction-head GEMM across the batch.
+///
+/// **Parity contract** (pinned by `tests/proptest_invariants.rs` for batch
+/// sizes 1..=16 and by the committed golden fixtures): the result is
+/// element-wise bit-identical to calling [`predict_one_with`] in a loop
+/// with the same `seed` and scratch. A batch of one IS that loop — it
+/// delegates to [`predict_one_with`] directly, so the seed-frozen
+/// `BENCH_*` baselines stay comparable at batch size 1.
+pub fn predict_batch_with<M: GraphForecaster + ?Sized>(
+    model: &M,
+    ds: &Dataset,
+    graph: &EsellerGraph,
+    centers: &[usize],
+    seed: u64,
+    scratch: &mut InferenceScratch,
+) -> Vec<Prediction> {
+    match centers {
+        [] => Vec::new(),
+        &[center] => vec![predict_one_with(model, ds, graph, center, seed, scratch)],
+        _ => {
+            let ego_cfg = model.ego_config();
+            if scratch.ego_batch.len() < centers.len() {
+                scratch.ego_batch.resize_with(centers.len(), EgoScratch::new);
+            }
+            let InferenceScratch { tape, ego_batch, cache, .. } = scratch;
+            let egos: Vec<&EgoSubgraph> = ego_batch
+                .iter_mut()
+                .zip(centers)
+                .map(|(slot, &center)| {
+                    // Same per-centre seeding as predict_one_with, so the
+                    // sampled subgraphs are identical.
+                    let mut rng = StdRng::seed_from_u64(per_node_seed(seed, center));
+                    extract_ego_into(graph, center, &ego_cfg, &mut rng, slot)
+                })
+                .collect();
+            tape.reset();
+            let preds = model.forward_centers_cached(tape, ds, &egos, cache);
+            debug_assert_eq!(preds.len(), centers.len());
+            centers
+                .iter()
+                .zip(preds)
+                .map(|(&center, pred)| {
+                    let t = tape.value(pred);
+                    Prediction {
+                        node: center,
+                        model_space: t.data().to_vec(),
+                        currency: ds.denormalize_prediction(t),
+                    }
+                })
+                .collect()
+        }
     }
 }
 
@@ -429,6 +506,129 @@ mod tests {
     fn evaluate_loss_empty_centers_is_zero() {
         let (world, ds, model) = tiny_setup();
         assert_eq!(evaluate_loss(&model, &ds, &world.graph, &[], 1, 2), 0.0);
+    }
+
+    /// THE batched-parity contract: a packed multi-request tape returns
+    /// **bit-identical** predictions to the per-request loop, for every
+    /// batch size (the proptest suite covers random worlds on top).
+    #[test]
+    fn predict_batch_matches_one_by_one_exactly() {
+        let (world, ds, model) = tiny_setup();
+        let nodes: Vec<usize> = ds.splits.test.iter().take(9).copied().collect();
+        for bs in [1usize, 2, 3, 9] {
+            let batch_nodes = &nodes[..bs];
+            let mut loop_scratch = InferenceScratch::new();
+            let expected: Vec<Prediction> = batch_nodes
+                .iter()
+                .map(|&n| predict_one_with(&model, &ds, &world.graph, n, 42, &mut loop_scratch))
+                .collect();
+            let mut batch_scratch = InferenceScratch::new();
+            let got =
+                predict_batch_with(&model, &ds, &world.graph, batch_nodes, 42, &mut batch_scratch);
+            assert_eq!(got.len(), expected.len());
+            for (a, b) in got.iter().zip(&expected) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.model_space, b.model_space, "batch size {bs} diverged");
+                assert_eq!(a.currency, b.currency);
+            }
+        }
+        assert!(predict_batch_with(
+            &model,
+            &ds,
+            &world.graph,
+            &[],
+            42,
+            &mut InferenceScratch::new()
+        )
+        .is_empty());
+    }
+
+    /// A reused scratch serving a mix of batch sizes still agrees with the
+    /// per-request path (cache/pool state carried across batches must not
+    /// leak into the numbers).
+    #[test]
+    fn reused_scratch_batches_stay_exact() {
+        let (world, ds, model) = tiny_setup();
+        let nodes: Vec<usize> = ds.splits.test.iter().take(8).copied().collect();
+        let mut reference = InferenceScratch::new();
+        let expected: Vec<Prediction> = nodes
+            .iter()
+            .map(|&n| predict_one_with(&model, &ds, &world.graph, n, 7, &mut reference))
+            .collect();
+        let mut scratch = InferenceScratch::new();
+        let mut got = Vec::new();
+        for chunk in nodes.chunks(3) {
+            got.extend(predict_batch_with(&model, &ds, &world.graph, chunk, 7, &mut scratch));
+        }
+        for (a, b) in got.iter().zip(&expected) {
+            assert_eq!(a.model_space, b.model_space, "mixed-batch reuse diverged");
+        }
+    }
+
+    /// Batched parity holds for every Gaia ablation variant (the NoIta
+    /// ablation takes the unmasked batched attention path) and with a
+    /// publish-time precomputed embedding + projection cache installed
+    /// (the serving configuration: every projection is a cache hit).
+    #[test]
+    fn batch_parity_across_variants_and_precomputed_cache() {
+        use crate::config::GaiaVariant;
+        let (world, ds) = gaia_synth::generate_dataset(gaia_synth::WorldConfig::tiny());
+        let nodes: Vec<usize> = ds.splits.test.iter().take(5).copied().collect();
+        for variant in
+            [GaiaVariant::Full, GaiaVariant::NoIta, GaiaVariant::NoFfl, GaiaVariant::NoTel]
+        {
+            let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+            cfg.channels = 8;
+            cfg.kernel_groups = 2;
+            cfg.layers = 2;
+            cfg.ego = EgoConfig { hops: 2, fanout: 3 };
+            let model = Gaia::new(cfg.with_variant(variant), 9);
+            let mut loop_scratch = InferenceScratch::new();
+            let expected: Vec<Vec<f32>> = nodes
+                .iter()
+                .map(|&n| {
+                    predict_one_with(&model, &ds, &world.graph, n, 5, &mut loop_scratch).model_space
+                })
+                .collect();
+            // Cold batch scratch (exercises the miss → compute paths).
+            let mut cold = InferenceScratch::new();
+            let got = predict_batch_with(&model, &ds, &world.graph, &nodes, 5, &mut cold);
+            for (a, b) in got.iter().zip(&expected) {
+                assert_eq!(&a.model_space, b, "{variant:?} cold-cache batch diverged");
+            }
+            // Warm scratch with the publish-time precompute installed
+            // (exercises the all-hit paths the serving workers run).
+            let mut warm = InferenceScratch::new();
+            warm.install_embed_cache(model.precompute_embeddings(&ds).into_shared());
+            let got = predict_batch_with(&model, &ds, &world.graph, &nodes, 5, &mut warm);
+            for (a, b) in got.iter().zip(&expected) {
+                assert_eq!(&a.model_space, b, "{variant:?} precomputed-cache batch diverged");
+            }
+        }
+    }
+
+    /// The batched mirror of the PR-3 zero-alloc contract: after a warm-up
+    /// batch, repeated batched requests on the reused tape allocate zero
+    /// fresh tensor buffers.
+    #[test]
+    fn steady_state_batched_inference_allocates_zero_fresh_buffers() {
+        let (world, ds, model) = tiny_setup();
+        let mut scratch = InferenceScratch::new();
+        let nodes: Vec<usize> = ds.splits.test.iter().take(4).copied().collect();
+        let first = predict_batch_with(&model, &ds, &world.graph, &nodes, 42, &mut scratch);
+        let _second = predict_batch_with(&model, &ds, &world.graph, &nodes, 42, &mut scratch);
+        let warm = scratch.tape_fresh_allocs();
+        for _ in 0..5 {
+            let again = predict_batch_with(&model, &ds, &world.graph, &nodes, 42, &mut scratch);
+            for (a, b) in again.iter().zip(&first) {
+                assert_eq!(a.model_space, b.model_space, "steady state changed the answer");
+            }
+            assert_eq!(
+                scratch.tape_fresh_allocs(),
+                warm,
+                "steady-state batched pass allocated a fresh tensor buffer"
+            );
+        }
     }
 
     /// The PR-3 acceptance contract: once a reused inference scratch has

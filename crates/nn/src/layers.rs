@@ -119,6 +119,31 @@ impl Conv1d {
         g.conv1d_act(x, w, b, self.pad, act)
     }
 
+    /// Apply the convolution to a `[bt, T, c_in]` **batch** in one tape
+    /// node ([`gaia_tensor::Graph::conv1d_act_batched`]): the weights are
+    /// bound once for the whole batch, and every member's values are
+    /// bit-identical to [`Conv1d::forward_act`].
+    pub fn forward_act_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        x: VarId,
+        act: Activation,
+    ) -> VarId {
+        {
+            let shape = g.value(x).shape();
+            assert_eq!(shape.len(), 3, "Conv1d batched: input must be [bt, T, c_in]");
+            assert_eq!(
+                shape[2], self.c_in,
+                "Conv1d batched: input has {} channels, layer expects {}",
+                shape[2], self.c_in
+            );
+        }
+        let w = ps.bind(g, self.w);
+        let b = self.b.map(|bid| ps.bind(g, bid));
+        g.conv1d_act_batched(x, w, b, self.pad, act)
+    }
+
     /// Kernel width.
     pub fn kernel(&self) -> usize {
         self.k

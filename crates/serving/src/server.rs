@@ -12,7 +12,7 @@
 
 use crate::offline::ModelArtifact;
 use crate::swap::{Swap, SwapReader};
-use gaia_core::trainer::{predict_one_with, InferenceScratch, Prediction};
+use gaia_core::trainer::{predict_batch_with, predict_one_with, InferenceScratch, Prediction};
 use gaia_core::{EmbedCache, Gaia};
 use gaia_graph::EsellerGraph;
 use gaia_synth::Dataset;
@@ -80,6 +80,11 @@ pub struct ServeStats {
     /// (minimum 1), so small batches report fewer entries than asked for.
     /// A heavily skewed distribution indicates a scheduling problem.
     pub per_worker: Vec<usize>,
+    /// How many micro-batches of each size the workers drained:
+    /// `per_batch_size[s - 1]` is the number of tapes that packed exactly
+    /// `s` requests. With `micro_batch = 1` this is `[requests]`; larger
+    /// caps show how full the queue actually kept the batches.
+    pub per_batch_size: Vec<usize>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice; `p` in `[0, 1]`.
@@ -128,9 +133,39 @@ impl InferenceContext<'_> {
         pred
     }
 
+    /// Serve one micro-batch of predictions on the current snapshot: the
+    /// whole batch shares one snapshot revalidation, one tape reset and
+    /// one packed forward pass ([`predict_batch_with`]). Results are
+    /// element-wise identical to calling [`InferenceContext::predict`] per
+    /// shop — a batch of one *is* that path.
+    pub fn predict_batch(&mut self, shops: &[usize]) -> Vec<Prediction> {
+        let (snap, epoch) = self.reader.get_with_epoch();
+        if epoch != self.cache_epoch {
+            self.scratch.install_embed_cache(snap.embeddings.clone());
+            self.cache_epoch = epoch;
+        }
+        let preds = predict_batch_with(
+            &snap.model,
+            &self.server.ds,
+            &self.server.graph,
+            shops,
+            self.server.seed,
+            &mut self.scratch,
+        );
+        self.served += preds.len();
+        preds
+    }
+
     /// Number of node embeddings currently cached for the served snapshot.
     pub fn cached_embeddings(&self) -> usize {
         self.scratch.cached_embeddings()
+    }
+
+    /// Number of nodes with cached layer-0 projections from the served
+    /// snapshot's publish-time precompute (the batched path's conv-free
+    /// fast path; full coverage means no request ever convolves K/V).
+    pub fn cached_projections(&self) -> usize {
+        self.scratch.cached_projections()
     }
 
     /// Fresh tensor buffers this context's reused tape has ever allocated
@@ -202,28 +237,68 @@ impl ModelServer {
 
     /// The shared worker-pool request path: fan `shops` out over `workers`
     /// threads through a channel, each worker serving through its own
-    /// [`InferenceContext`]. Returns predictions in request order plus
-    /// latency/throughput statistics.
-    fn serve_batch(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
+    /// [`InferenceContext`]. With `micro_batch > 1` a worker drains up to
+    /// that many queued requests per tape and serves them through one
+    /// packed batched forward pass; `micro_batch == 1` is the exact
+    /// one-request-per-tape-reset path previous PRs benchmarked. Returns
+    /// predictions in request order plus latency/throughput statistics.
+    fn serve_batch(
+        &self,
+        shops: &[usize],
+        workers: usize,
+        micro_batch: usize,
+    ) -> (Vec<Prediction>, ServeStats) {
         let workers = workers.clamp(1, shops.len().max(1));
+        // Clamp like workers: a cap beyond the request count only inflates
+        // the per-batch-size histogram (and a sentinel like usize::MAX
+        // would try to allocate it).
+        let micro_batch = micro_batch.clamp(1, shops.len().max(1));
         let (req_tx, req_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
         let enqueue = Instant::now();
         for pair in shops.iter().copied().enumerate() {
             req_tx.send(pair).expect("queue open");
         }
         drop(req_tx);
-        let worker_results: Vec<Vec<(usize, Prediction, f64)>> = std::thread::scope(|scope| {
+        type WorkerDone = (Vec<(usize, Prediction, f64)>, Vec<usize>);
+        let worker_results: Vec<WorkerDone> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let rx = req_rx.clone();
                     scope.spawn(move || {
                         let mut ctx = self.inference_context();
                         let mut done = Vec::new();
+                        let mut batch_sizes = vec![0usize; micro_batch];
+                        let mut slots = Vec::with_capacity(micro_batch);
+                        let mut batch = Vec::with_capacity(micro_batch);
                         while let Ok((slot, shop)) = rx.recv() {
-                            let pred = ctx.predict(shop);
-                            done.push((slot, pred, enqueue.elapsed().as_secs_f64()));
+                            // Drain whatever is already queued, up to the
+                            // micro-batch cap, and serve it on one tape. A
+                            // cap of 1 never enters the drain loop, and
+                            // predict_batch on a single shop delegates to
+                            // the per-request path — so micro_batch == 1
+                            // IS the exact pre-batching request path
+                            // (asserted by the serving parity tests).
+                            slots.clear();
+                            batch.clear();
+                            slots.push(slot);
+                            batch.push(shop);
+                            while batch.len() < micro_batch {
+                                match rx.try_recv() {
+                                    Ok((s, sh)) => {
+                                        slots.push(s);
+                                        batch.push(sh);
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            let preds = ctx.predict_batch(&batch);
+                            let finished = enqueue.elapsed().as_secs_f64();
+                            batch_sizes[batch.len() - 1] += 1;
+                            for (&s, pred) in slots.iter().zip(preds) {
+                                done.push((s, pred, finished));
+                            }
                         }
-                        done
+                        (done, batch_sizes)
                     })
                 })
                 .collect();
@@ -234,8 +309,12 @@ impl ModelServer {
         let mut preds: Vec<Option<Prediction>> = (0..shops.len()).map(|_| None).collect();
         let mut latencies = Vec::with_capacity(shops.len());
         let mut per_worker = Vec::with_capacity(workers);
-        for done in worker_results {
+        let mut per_batch_size = vec![0usize; micro_batch];
+        for (done, batch_sizes) in worker_results {
             per_worker.push(done.len());
+            for (size, count) in per_batch_size.iter_mut().zip(batch_sizes) {
+                *size += count;
+            }
             for (slot, pred, latency) in done {
                 latencies.push(latency);
                 preds[slot] = Some(pred);
@@ -252,21 +331,48 @@ impl ModelServer {
             latency_p95: percentile(&latencies, 0.95),
             latency_p99: percentile(&latencies, 0.99),
             per_worker,
+            per_batch_size,
         };
         (preds, stats)
     }
 
     /// Predict a batch of shops with `workers` threads, returning the
-    /// predictions (in request order) and serving statistics.
+    /// predictions (in request order) and serving statistics. One request
+    /// per tape reset — the baseline-comparable path; see
+    /// [`ModelServer::predict_many_batched`] for the micro-batched one.
     pub fn predict_many(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
-        self.serve_batch(shops, workers)
+        self.serve_batch(shops, workers, 1)
+    }
+
+    /// [`ModelServer::predict_many`] with worker-side micro-batching: each
+    /// worker drains up to `micro_batch` queued requests per tape and
+    /// serves them through one packed forward pass. Predictions are
+    /// element-wise identical to the per-request path for any cap.
+    pub fn predict_many_batched(
+        &self,
+        shops: &[usize],
+        workers: usize,
+        micro_batch: usize,
+    ) -> (Vec<Prediction>, ServeStats) {
+        self.serve_batch(shops, workers, micro_batch)
     }
 
     /// Serve a request stream through a channel worker pool — the shape of
     /// the production request path. Returns predictions in request order and
     /// per-request latency statistics measured from enqueue.
     pub fn serve_stream(&self, shops: &[usize], workers: usize) -> (Vec<Prediction>, ServeStats) {
-        self.serve_batch(shops, workers)
+        self.serve_batch(shops, workers, 1)
+    }
+
+    /// [`ModelServer::serve_stream`] with worker-side micro-batching (see
+    /// [`ModelServer::predict_many_batched`]).
+    pub fn serve_stream_batched(
+        &self,
+        shops: &[usize],
+        workers: usize,
+        micro_batch: usize,
+    ) -> (Vec<Prediction>, ServeStats) {
+        self.serve_batch(shops, workers, micro_batch)
     }
 
     /// Measure inference time as a function of client count — the Section VI
@@ -377,8 +483,10 @@ mod tests {
     fn precomputed_embeddings_cover_dataset_and_swap_replaces_them() {
         let (server, mut pipeline, world) = booted_server();
         let mut ctx = server.inference_context();
-        // The snapshot's publish-time embeddings are installed up front.
+        // The snapshot's publish-time embeddings and layer-0 projections
+        // are installed up front — batched requests never convolve K/V.
         assert_eq!(ctx.cached_embeddings(), server.ds.n, "cache must cover every node");
+        assert_eq!(ctx.cached_projections(), server.ds.n, "projections must cover every node");
         let first = ctx.predict(3);
         // Serving from the precomputed cache must equal a from-scratch
         // forward pass (no cache ever sees this tape).
@@ -444,6 +552,38 @@ mod tests {
         assert_eq!(linearity_r2(&flat), 1.0);
     }
 
+    /// Degenerate curves: an empty curve and a single measurement carry no
+    /// linearity evidence, so R² defaults to 1 (vacuously linear) instead
+    /// of dividing by zero.
+    #[test]
+    fn linearity_r2_degenerate_inputs() {
+        assert_eq!(linearity_r2(&[]), 1.0);
+        assert_eq!(linearity_r2(&[(250, 3.5)]), 1.0);
+        // Repeated x with differing y (sxx == 0) must not NaN either.
+        assert_eq!(linearity_r2(&[(100, 1.0), (100, 2.0)]), 1.0);
+        // A clearly nonlinear curve scores below a near-perfect one.
+        let bent = vec![(100, 1.0), (200, 1.05), (400, 9.0), (800, 9.1)];
+        let r2 = linearity_r2(&bent);
+        assert!((0.0..1.0).contains(&r2), "nonlinear curve got r2 = {r2}");
+        let line = vec![(100, 1.0), (200, 2.0), (400, 4.0), (800, 8.0)];
+        assert!(linearity_r2(&line) > r2);
+    }
+
+    /// `scaling_curve` covers the degenerate single-point sweep and labels
+    /// each measurement with its client count.
+    #[test]
+    fn scaling_curve_single_point_and_labels() {
+        let (server, _, _) = booted_server();
+        let single = server.scaling_curve(&[8], 2);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].0, 8);
+        assert!(single[0].1 > 0.0 && single[0].1.is_finite());
+        // A single point is vacuously linear under linearity_r2.
+        assert_eq!(linearity_r2(&single), 1.0);
+        let empty = server.scaling_curve(&[], 2);
+        assert!(empty.is_empty());
+    }
+
     #[test]
     fn scaling_curve_grows_with_clients() {
         let (server, _, _) = booted_server();
@@ -474,6 +614,81 @@ mod tests {
                 "steady-state request allocated a fresh tensor buffer"
             );
         }
+    }
+
+    /// THE serving-side batch-parity wall: micro-batched serving returns
+    /// exactly the per-request path's predictions, in request order, for
+    /// every micro-batch cap and worker count.
+    #[test]
+    fn micro_batched_serving_matches_per_request_exactly() {
+        let (server, _, _) = booted_server();
+        let shops: Vec<usize> = (0..24).map(|i| i % 10).collect();
+        let (expected, base_stats) = server.predict_many(&shops, 1);
+        assert_eq!(base_stats.per_batch_size, vec![24], "micro_batch=1 packs singles only");
+        for workers in [1usize, 3] {
+            for micro_batch in [1usize, 4, 16] {
+                let (got, stats) = server.predict_many_batched(&shops, workers, micro_batch);
+                assert_eq!(got.len(), expected.len());
+                for (a, b) in got.iter().zip(&expected) {
+                    assert_eq!(a.node, b.node, "order changed at w={workers} mb={micro_batch}");
+                    assert_eq!(
+                        a.model_space, b.model_space,
+                        "batched serving diverged at w={workers} mb={micro_batch}"
+                    );
+                    assert_eq!(a.currency, b.currency);
+                }
+                assert_eq!(stats.per_batch_size.len(), micro_batch);
+                let served: usize =
+                    stats.per_batch_size.iter().enumerate().map(|(i, count)| (i + 1) * count).sum();
+                assert_eq!(served, shops.len(), "batch-size histogram must cover every request");
+                // serve_stream_batched shares the same path.
+                let (streamed, _) = server.serve_stream_batched(&shops, workers, micro_batch);
+                for (a, b) in streamed.iter().zip(&expected) {
+                    assert_eq!(a.model_space, b.model_space);
+                }
+            }
+        }
+    }
+
+    /// A context's micro-batch path reaches the zero-alloc steady state
+    /// (the server mirror of the trainer-level batched assertion) and
+    /// stays bit-stable.
+    #[test]
+    fn batched_context_reaches_zero_alloc_steady_state() {
+        let (server, _, _) = booted_server();
+        let mut ctx = server.inference_context();
+        let shops: Vec<usize> = (0..8).collect();
+        let warm_preds = ctx.predict_batch(&shops);
+        let _ = ctx.predict_batch(&shops);
+        let warm = ctx.tape_fresh_allocs();
+        for _ in 0..3 {
+            let again = ctx.predict_batch(&shops);
+            for (a, b) in again.iter().zip(&warm_preds) {
+                assert_eq!(a.model_space, b.model_space);
+            }
+            assert_eq!(
+                ctx.tape_fresh_allocs(),
+                warm,
+                "steady-state batched request allocated a fresh tensor buffer"
+            );
+        }
+        assert_eq!(ctx.served(), 5 * shops.len());
+    }
+
+    /// A hot swap lands between micro-batches: the context serves the next
+    /// batch from the new snapshot (fresh embeddings and projections).
+    #[test]
+    fn batched_context_picks_up_hot_swap() {
+        let (server, mut pipeline, world) = booted_server();
+        let mut ctx = server.inference_context();
+        let before = ctx.predict_batch(&[3, 5]);
+        let (artifact2, _, _) = pipeline.execute_month(&world);
+        server.publish(&artifact2);
+        let after = ctx.predict_batch(&[3, 5]);
+        assert_ne!(before[0].model_space, after[0].model_space);
+        // And the swapped answers equal a fresh context's.
+        let fresh = server.predict_one(3);
+        assert_eq!(after[0].model_space, fresh.model_space);
     }
 
     #[test]

@@ -796,6 +796,528 @@ impl Graph {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Batched ops (leading batch dimension)
+    // ------------------------------------------------------------------
+    //
+    // Batched tensors are rank-3 `[bt, r, c]`: `bt` same-shape rank-2
+    // members stacked contiguously. Every batched op is **bit-identical**
+    // per member to its per-request counterpart (same kernels, same
+    // summation order), which is the contract `predict_batch_with`'s
+    // parity proptests pin: batching changes how much work one tape node
+    // amortises, never the arithmetic.
+
+    /// Stack `bt` same-shape rank-2 tensors into one `[bt, r, c]` batch
+    /// node (the glue that assembles per-request values for batched
+    /// dispatch). Repeating a [`VarId`] is allowed; its gradient receives
+    /// every copy's contribution.
+    pub fn stack_rows(&mut self, xs: &[VarId]) -> VarId {
+        assert!(!xs.is_empty(), "stack_rows: empty input");
+        let shape = self.nodes[xs[0]].value.shape().to_vec();
+        assert_eq!(shape.len(), 2, "stack_rows: members must be rank-2, got {shape:?}");
+        let (r, c) = (shape[0], shape[1]);
+        let mut v = self.pool.alloc(&[xs.len(), r, c]);
+        for (i, &x) in xs.iter().enumerate() {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape(), &shape[..], "stack_rows: member {i} shape mismatch");
+            v.data_mut()[i * r * c..(i + 1) * r * c].copy_from_slice(xv.data());
+        }
+        let bt = xs.len();
+        self.push_op(v, xs, || {
+            Box::new(move |g, _, _, pool| {
+                (0..bt)
+                    .map(|i| pool.alloc_from_slice(&[r, c], &g.data()[i * r * c..(i + 1) * r * c]))
+                    .collect()
+            })
+        })
+    }
+
+    /// Extract member `i` of a `[bt, r, c]` batch node as a rank-2
+    /// `[r, c]` tensor (the inverse glue: hands one request's result back
+    /// to its per-request consumers).
+    pub fn slice_batch(&mut self, x: VarId, i: usize) -> VarId {
+        let (bt, r, c) = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 3, "slice_batch: expects [bt, r, c]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        assert!(i < bt, "slice_batch: member {i} out of {bt}");
+        let v = self
+            .pool
+            .alloc_from_slice(&[r, c], &self.nodes[x].value.data()[i * r * c..(i + 1) * r * c]);
+        self.push_op(v, &[x], || {
+            Box::new(move |g, _, _, pool| {
+                let mut dx = pool.alloc_zeroed(&[bt, r, c]);
+                dx.data_mut()[i * r * c..(i + 1) * r * c].copy_from_slice(g.data());
+                vec![dx]
+            })
+        })
+    }
+
+    /// Batched matmul with a shared right-hand side:
+    /// `x: [bt, m, k] @ w: [k, n] → [bt, m, n]` as **one** blocked GEMM
+    /// over the stacked members ([`kernels::matmul_batched_into`]) —
+    /// bit-identical per member to [`Graph::matmul`].
+    pub fn matmul_batched(&mut self, x: VarId, w: VarId) -> VarId {
+        self.linear_batched(x, w, None, Activation::Identity)
+    }
+
+    /// Batched fused dense layer `act(x[bt,m,k] @ w[k,n] (+ b))` as one
+    /// tape node and one blocked GEMM. Per member this is bit-identical to
+    /// [`Graph::linear`] (the GEMM computes rows independently, and the
+    /// bias/activation epilogue is elementwise).
+    pub fn linear_batched(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        b: Option<VarId>,
+        act: Activation,
+    ) -> VarId {
+        let (bt, m, k) = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 3, "linear_batched: x must be [bt, m, k]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        let (k2, n) = {
+            let wv = &self.nodes[w].value;
+            (wv.rows(), wv.cols())
+        };
+        assert_eq!(k, k2, "linear_batched: inner dims differ [{bt},{m},{k}] x [{k2},{n}]");
+        if let Some(bid) = b {
+            assert_eq!(self.nodes[bid].value.len(), n, "linear_batched: bias len != out dim {n}");
+        }
+        let mut v = self.pool.alloc(&[bt, m, n]);
+        kernels::matmul_batched_into(
+            self.nodes[x].value.data(),
+            self.nodes[w].value.data(),
+            bt,
+            m,
+            k,
+            n,
+            v.data_mut(),
+        );
+        match b {
+            Some(bid) => {
+                let bv = &self.nodes[bid].value;
+                for o_row in v.data_mut().chunks_mut(n) {
+                    for (o, &bvv) in o_row.iter_mut().zip(bv.data()) {
+                        *o = act.apply(*o + bvv);
+                    }
+                }
+            }
+            None => {
+                if act != Activation::Identity {
+                    for o in v.data_mut().iter_mut() {
+                        *o = act.apply(*o);
+                    }
+                }
+            }
+        }
+        let has_bias = b.is_some();
+        let parents_arr = [x, w, b.unwrap_or(0)];
+        let parents = &parents_arr[..if has_bias { 3 } else { 2 }];
+        self.push_op(v, parents, || {
+            Box::new(move |g, inputs, out, pool| {
+                let rows = bt * m;
+                // Gradient at the pre-activation output.
+                let mut dpre_t: Option<Tensor> = None;
+                let dpre: &Tensor = if act == Activation::Identity {
+                    g
+                } else {
+                    let mut t = pool.alloc(g.shape());
+                    zip_into(&mut t, g, out, |gv, y| gv * act.grad_from_output(y));
+                    dpre_t.insert(t)
+                };
+                let w = inputs[1];
+                let mut wt = pool.alloc(&[n, k]);
+                kernels::transpose_into(w.data(), k, n, wt.data_mut());
+                let mut dx = pool.alloc(&[bt, m, k]);
+                kernels::matmul_into(dpre.data(), wt.data(), rows, n, k, dx.data_mut());
+                pool.recycle(wt);
+                let mut dw = pool.alloc(&[k, n]);
+                kernels::matmul_tn_into(inputs[0].data(), dpre.data(), rows, k, n, dw.data_mut());
+                let mut contributions = vec![dx, dw];
+                if has_bias {
+                    let mut db = pool.alloc_zeroed(inputs[2].shape());
+                    for row in dpre.data().chunks(n) {
+                        for (d, &gv) in db.data_mut().iter_mut().zip(row) {
+                            *d += gv;
+                        }
+                    }
+                    contributions.push(db);
+                }
+                if let Some(t) = dpre_t {
+                    pool.recycle(t);
+                }
+                contributions
+            })
+        })
+    }
+
+    /// Strided batched matmul `x: [bt, m, k] @ y: [bt, k, n] → [bt, m, n]`
+    /// where **both** operands differ per member (e.g. `attn @ V`). Each
+    /// member dispatches to the blocked kernel — bit-identical per member
+    /// to [`Graph::matmul`].
+    pub fn matmul_strided(&mut self, x: VarId, y: VarId) -> VarId {
+        self.matmul_strided_impl(x, y, false)
+    }
+
+    /// [`Graph::matmul_strided`] for a **causal-probability** left operand:
+    /// every `x` member is square with an exactly-zero strict upper
+    /// triangle (e.g. the output of
+    /// [`Graph::attention_probs_causal_batched`]), so the forward pass
+    /// dispatches to [`kernels::matmul_tri_lower_into`] — bit-identical,
+    /// roughly half the MACs. The backward pass is the full strided one.
+    pub fn matmul_strided_tri(&mut self, x: VarId, y: VarId) -> VarId {
+        self.matmul_strided_impl(x, y, true)
+    }
+
+    fn matmul_strided_impl(&mut self, x: VarId, y: VarId, tri: bool) -> VarId {
+        let (bt, m, k) = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 3, "matmul_strided: x must be [bt, m, k]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        let (bt2, k2, n) = {
+            let yv = &self.nodes[y].value;
+            assert_eq!(yv.shape().len(), 3, "matmul_strided: y must be [bt, k, n]");
+            (yv.shape()[0], yv.shape()[1], yv.shape()[2])
+        };
+        assert_eq!(bt, bt2, "matmul_strided: batch mismatch {bt} vs {bt2}");
+        assert_eq!(k, k2, "matmul_strided: inner dims differ");
+        if tri {
+            assert_eq!(m, k, "matmul_strided_tri: left members must be square, got [{m},{k}]");
+        }
+        let mut v = self.pool.alloc(&[bt, m, n]);
+        if tri {
+            for i in 0..bt {
+                kernels::matmul_tri_lower_into(
+                    &self.nodes[x].value.data()[i * m * k..(i + 1) * m * k],
+                    &self.nodes[y].value.data()[i * k * n..(i + 1) * k * n],
+                    m,
+                    n,
+                    &mut v.data_mut()[i * m * n..(i + 1) * m * n],
+                );
+            }
+        } else {
+            kernels::matmul_strided_into(
+                self.nodes[x].value.data(),
+                self.nodes[y].value.data(),
+                bt,
+                m,
+                k,
+                n,
+                v.data_mut(),
+            );
+        }
+        self.push_op(v, &[x, y], || {
+            Box::new(move |g, inputs, _, pool| {
+                let (x, y) = (inputs[0], inputs[1]);
+                let mut dx = pool.alloc(&[bt, m, k]);
+                let mut dy = pool.alloc(&[bt, k, n]);
+                let mut yt = pool.alloc(&[n, k]);
+                for i in 0..bt {
+                    let gseg = &g.data()[i * m * n..(i + 1) * m * n];
+                    // dX_b = G_b Y_bᵀ via a pooled transpose + blocked GEMM.
+                    kernels::transpose_into(
+                        &y.data()[i * k * n..(i + 1) * k * n],
+                        k,
+                        n,
+                        yt.data_mut(),
+                    );
+                    kernels::matmul_into(
+                        gseg,
+                        yt.data(),
+                        m,
+                        n,
+                        k,
+                        &mut dx.data_mut()[i * m * k..(i + 1) * m * k],
+                    );
+                    // dY_b = X_bᵀ G_b.
+                    kernels::matmul_tn_into(
+                        &x.data()[i * m * k..(i + 1) * m * k],
+                        gseg,
+                        m,
+                        k,
+                        n,
+                        &mut dy.data_mut()[i * k * n..(i + 1) * k * n],
+                    );
+                }
+                pool.recycle(yt);
+                vec![dx, dy]
+            })
+        })
+    }
+
+    /// Batched fused attention scores with a **shared query**:
+    /// `out[b] = scale · (q @ k[b]ᵀ) + mask` for `q: [t_q, c]`,
+    /// `k: [bt, t_k, c]`, `out: [bt, t_q, t_k]`. One tape node per batch
+    /// instead of per pair; each member runs the same fused kernel as
+    /// [`Graph::attention_scores`], so values are bit-identical per member.
+    pub fn attention_scores_batched(
+        &mut self,
+        q: VarId,
+        k: VarId,
+        scale: f32,
+        mask: Option<&Tensor>,
+    ) -> VarId {
+        let (t_q, c) = {
+            let qv = &self.nodes[q].value;
+            (qv.rows(), qv.cols())
+        };
+        let (bt, t_k, c2) = {
+            let kv = &self.nodes[k].value;
+            assert_eq!(kv.shape().len(), 3, "attention_scores_batched: k must be [bt, t_k, c]");
+            (kv.shape()[0], kv.shape()[1], kv.shape()[2])
+        };
+        assert_eq!(c, c2, "attention_scores_batched: channel mismatch {c} vs {c2}");
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), &[t_q, t_k], "attention_scores_batched: bad mask shape");
+        }
+        let mut v = self.pool.alloc(&[bt, t_q, t_k]);
+        let mut kt = self.pool.alloc(&[c, t_k]);
+        for i in 0..bt {
+            kernels::attention_scores_into(
+                self.nodes[q].value.data(),
+                &self.nodes[k].value.data()[i * t_k * c..(i + 1) * t_k * c],
+                t_q,
+                t_k,
+                c,
+                scale,
+                mask.map(|m| m.data()),
+                kt.data_mut(),
+                &mut v.data_mut()[i * t_q * t_k..(i + 1) * t_q * t_k],
+            );
+        }
+        self.pool.recycle(kt);
+        self.push_op(v, &[q, k], || {
+            Box::new(move |g, inputs, _, pool| {
+                let (q, k) = (inputs[0], inputs[1]);
+                let mut dq = pool.alloc_zeroed(&[t_q, c]);
+                let mut dk = pool.alloc(&[bt, t_k, c]);
+                let mut seg = pool.alloc(&[t_q, c]);
+                for i in 0..bt {
+                    let gseg = &g.data()[i * t_q * t_k..(i + 1) * t_q * t_k];
+                    let kseg = &k.data()[i * t_k * c..(i + 1) * t_k * c];
+                    // dQ += scale · G_b K_b (shared query accumulates).
+                    kernels::matmul_into(gseg, kseg, t_q, t_k, c, seg.data_mut());
+                    for (d, &s) in dq.data_mut().iter_mut().zip(seg.data()) {
+                        *d += scale * s;
+                    }
+                    // dK_b = scale · G_bᵀ Q.
+                    let dkseg = &mut dk.data_mut()[i * t_k * c..(i + 1) * t_k * c];
+                    kernels::matmul_tn_into(gseg, q.data(), t_q, t_k, c, dkseg);
+                    for x in dkseg.iter_mut() {
+                        *x *= scale;
+                    }
+                }
+                pool.recycle(seg);
+                vec![dq, dk]
+            })
+        })
+    }
+
+    /// Batched **fused causal attention probabilities** with a shared
+    /// query: `out[b] = softmax_rows(scale · (q @ k[b]ᵀ) + M_causal)` in
+    /// one tape node, dispatched to
+    /// [`kernels::attention_probs_causal_into`]. Bit-identical per member
+    /// to [`Graph::attention_scores`] with the causal mask followed by
+    /// [`Graph::softmax_rows`] — but the masked upper triangle is never
+    /// computed, which roughly halves the scores + softmax cost.
+    pub fn attention_probs_causal_batched(&mut self, q: VarId, k: VarId, scale: f32) -> VarId {
+        let (t, c) = {
+            let qv = &self.nodes[q].value;
+            (qv.rows(), qv.cols())
+        };
+        let (bt, t_k, c2) = {
+            let kv = &self.nodes[k].value;
+            assert_eq!(kv.shape().len(), 3, "attention_probs_causal: k must be [bt, t, c]");
+            (kv.shape()[0], kv.shape()[1], kv.shape()[2])
+        };
+        assert_eq!(t, t_k, "attention_probs_causal: square attention needs t_q == t_k");
+        assert_eq!(c, c2, "attention_probs_causal: channel mismatch {c} vs {c2}");
+        let mut v = self.pool.alloc(&[bt, t, t]);
+        let mut kt = self.pool.alloc(&[c, t]);
+        for i in 0..bt {
+            kernels::attention_probs_causal_into(
+                self.nodes[q].value.data(),
+                &self.nodes[k].value.data()[i * t * c..(i + 1) * t * c],
+                t,
+                c,
+                scale,
+                kt.data_mut(),
+                &mut v.data_mut()[i * t * t..(i + 1) * t * t],
+            );
+        }
+        self.pool.recycle(kt);
+        self.push_op(v, &[q, k], || {
+            Box::new(move |g, inputs, out, pool| {
+                let (q, k) = (inputs[0], inputs[1]);
+                let mut dq = pool.alloc_zeroed(&[t, c]);
+                let mut dk = pool.alloc(&[bt, t, c]);
+                let mut ds = pool.alloc(&[t, t]);
+                let mut seg = pool.alloc(&[t, c]);
+                for i in 0..bt {
+                    let gseg = &g.data()[i * t * t..(i + 1) * t * t];
+                    let pseg = &out.data()[i * t * t..(i + 1) * t * t];
+                    // Softmax-rows backward: dS = P ∘ (G − Σ_j G P). Masked
+                    // positions have P = 0, so dS vanishes there.
+                    for r in 0..t {
+                        let g_row = &gseg[r * t..(r + 1) * t];
+                        let p_row = &pseg[r * t..(r + 1) * t];
+                        let mut dot = 0.0;
+                        for (&gv, &pv) in g_row.iter().zip(p_row) {
+                            dot += gv * pv;
+                        }
+                        for (d, (&gv, &pv)) in ds.data_mut()[r * t..(r + 1) * t]
+                            .iter_mut()
+                            .zip(g_row.iter().zip(p_row))
+                        {
+                            *d = pv * (gv - dot);
+                        }
+                    }
+                    let kseg = &k.data()[i * t * c..(i + 1) * t * c];
+                    // dQ += scale · dS K_b; dK_b = scale · dSᵀ Q.
+                    kernels::matmul_into(ds.data(), kseg, t, t, c, seg.data_mut());
+                    for (d, &s) in dq.data_mut().iter_mut().zip(seg.data()) {
+                        *d += scale * s;
+                    }
+                    let dkseg = &mut dk.data_mut()[i * t * c..(i + 1) * t * c];
+                    kernels::matmul_tn_into(ds.data(), q.data(), t, t, c, dkseg);
+                    for x in dkseg.iter_mut() {
+                        *x *= scale;
+                    }
+                }
+                pool.recycle(ds);
+                pool.recycle(seg);
+                vec![dq, dk]
+            })
+        })
+    }
+
+    /// Batched fused 1-D convolution + bias + activation over a
+    /// `[bt, T, c_in]` batch: each member runs
+    /// [`kernels::conv1d_fused_into`] on its own time axis (no leakage
+    /// across members), so values are bit-identical per member to
+    /// [`Graph::conv1d_act`], while the whole batch is one tape node and
+    /// one weight bind.
+    pub fn conv1d_act_batched(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        b: Option<VarId>,
+        pad: PadMode,
+        act: Activation,
+    ) -> VarId {
+        let (bt, t_len, c_in) = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 3, "conv1d_act_batched: x must be [bt, T, c_in]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        let (kw, wc_in, c_out) = {
+            let wv = &self.nodes[w].value;
+            assert_eq!(wv.shape().len(), 3, "conv1d_act_batched: w must be [k, c_in, c_out]");
+            (wv.shape()[0], wv.shape()[1], wv.shape()[2])
+        };
+        assert_eq!(c_in, wc_in, "conv1d_act_batched: channel mismatch {c_in} vs {wc_in}");
+        let mut v = self.pool.alloc(&[bt, t_len, c_out]);
+        for i in 0..bt {
+            kernels::conv1d_fused_into(
+                &self.nodes[x].value.data()[i * t_len * c_in..(i + 1) * t_len * c_in],
+                self.nodes[w].value.data(),
+                b.map(|bid| self.nodes[bid].value.data()),
+                t_len,
+                c_in,
+                c_out,
+                kw,
+                pad,
+                act,
+                &mut v.data_mut()[i * t_len * c_out..(i + 1) * t_len * c_out],
+            );
+        }
+        let has_bias = b.is_some();
+        let parents_arr = [x, w, b.unwrap_or(0)];
+        let parents = &parents_arr[..if has_bias { 3 } else { 2 }];
+        self.push_op(v, parents, || {
+            Box::new(move |g, inputs, out, pool| {
+                let (x, w) = (inputs[0], inputs[1]);
+                let mut dpre_t: Option<Tensor> = None;
+                let dpre: &Tensor = if act == Activation::Identity {
+                    g
+                } else {
+                    let mut t = pool.alloc(g.shape());
+                    zip_into(&mut t, g, out, |gv, y| gv * act.grad_from_output(y));
+                    dpre_t.insert(t)
+                };
+                let mut dx = pool.alloc(&[bt, t_len, c_in]);
+                let mut dw = pool.alloc_zeroed(&[kw, c_in, c_out]);
+                let mut db = pool.alloc_zeroed(&[c_out]);
+                let mut dw_seg = pool.alloc(&[kw, c_in, c_out]);
+                let mut db_seg = pool.alloc(&[c_out]);
+                for i in 0..bt {
+                    kernels::conv1d_backward_into(
+                        &x.data()[i * t_len * c_in..(i + 1) * t_len * c_in],
+                        w.data(),
+                        &dpre.data()[i * t_len * c_out..(i + 1) * t_len * c_out],
+                        t_len,
+                        c_in,
+                        c_out,
+                        kw,
+                        pad,
+                        &mut dx.data_mut()[i * t_len * c_in..(i + 1) * t_len * c_in],
+                        dw_seg.data_mut(),
+                        db_seg.data_mut(),
+                    );
+                    for (d, &s) in dw.data_mut().iter_mut().zip(dw_seg.data()) {
+                        *d += s;
+                    }
+                    for (d, &s) in db.data_mut().iter_mut().zip(db_seg.data()) {
+                        *d += s;
+                    }
+                }
+                pool.recycle(dw_seg);
+                pool.recycle(db_seg);
+                if let Some(t) = dpre_t {
+                    pool.recycle(t);
+                }
+                if has_bias {
+                    vec![dx, dw, db]
+                } else {
+                    pool.recycle(db);
+                    vec![dx, dw]
+                }
+            })
+        })
+    }
+
+    /// Gather elements of a rank-1 vector by index: `out[i] = x[idx[i]]`
+    /// (batched counterpart of [`Graph::index_vec`], e.g. per-edge-type
+    /// bias lookups across a whole neighbour set). Backward scatter-adds.
+    pub fn gather_vec(&mut self, x: VarId, idx: &[usize]) -> VarId {
+        let n = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 1, "gather_vec: expects rank-1");
+            xv.len()
+        };
+        for &i in idx {
+            assert!(i < n, "gather_vec: index {i} out of {n}");
+        }
+        let mut v = self.pool.alloc(&[idx.len()]);
+        for (o, &i) in v.data_mut().iter_mut().zip(idx) {
+            *o = self.nodes[x].value.data()[i];
+        }
+        let idx = idx.to_vec();
+        self.push_op(v, &[x], || {
+            Box::new(move |g, _, _, pool| {
+                let mut dx = pool.alloc_zeroed(&[n]);
+                for (&gv, &i) in g.data().iter().zip(&idx) {
+                    dx.data_mut()[i] += gv;
+                }
+                vec![dx]
+            })
+        })
+    }
+
     /// Row-wise softmax with an optional additive mask (entries of `-1e9`
     /// suppress positions — the `M` matrix of the CAU that blocks rightward
     /// attention).
@@ -1683,6 +2205,229 @@ mod tests {
             g.backward(loss);
             let grads: Vec<f32> = g.param_grads().flat_map(|(_, t)| t.data().to_vec()).collect();
             assert_eq!(grads, vec![2.0, 4.0]);
+        }
+    }
+
+    /// stack_rows → slice_batch is the identity per member, and gradients
+    /// flow through both (including a repeated parent, whose gradient must
+    /// accumulate every copy's contribution).
+    #[test]
+    fn stack_and_slice_roundtrip_with_grads() {
+        let inputs = rand_inputs(&[vec![3, 2], vec![3, 2]], 101);
+        let mut g = Graph::new();
+        let a = g.bind_param(0, inputs[0].clone());
+        let b = g.bind_param(1, inputs[1].clone());
+        let stacked = g.stack_rows(&[a, b, a]);
+        assert_eq!(g.value(stacked).shape(), &[3, 3, 2]);
+        for (i, src) in [a, b, a].into_iter().enumerate() {
+            let s = g.slice_batch(stacked, i);
+            assert_eq!(g.value(s).data(), g.value(src).data(), "member {i} diverged");
+        }
+        // d/da sum(stack([a, b, a])) = 2, d/db = 1 (a appears twice).
+        let loss = g.sum_all(stacked);
+        g.backward(loss);
+        assert!(g.grad(a).unwrap().data().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+        assert!(g.grad(b).unwrap().data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    /// Batched nodes are **bit-identical** per member to their per-request
+    /// counterparts — the exact-parity contract of the batched serving
+    /// path, checked at the tape level for every batched op.
+    #[test]
+    fn batched_nodes_are_bit_identical_to_per_member_ops() {
+        let (bt, t, c, n) = (3usize, 6usize, 8usize, 4usize);
+        let members = rand_inputs(&[vec![t, c], vec![t, c], vec![t, c]], 111);
+        let w = rand_inputs(&[vec![c, n]], 112).remove(0);
+        let bias = rand_inputs(&[vec![n]], 113).remove(0);
+        let conv_w = rand_inputs(&[vec![3, c, c]], 114).remove(0);
+        let conv_b = rand_inputs(&[vec![c]], 115).remove(0);
+        let q = rand_inputs(&[vec![t, c]], 116).remove(0);
+        let scale = 1.0 / (c as f32).sqrt();
+        let mut mask = Tensor::zeros(vec![t, t]);
+        for r in 0..t {
+            for cc in (r + 1)..t {
+                *mask.at_mut(r, cc) = -1e9;
+            }
+        }
+
+        let mut g = Graph::new();
+        let vars: Vec<VarId> = members.iter().map(|m| g.constant(m.clone())).collect();
+        let wv = g.constant(w.clone());
+        let bv = g.constant(bias.clone());
+        let cwv = g.constant(conv_w.clone());
+        let cbv = g.constant(conv_b.clone());
+        let qv = g.constant(q.clone());
+        let stacked = g.stack_rows(&vars);
+
+        // linear_batched vs per-member linear.
+        let lb = g.linear_batched(stacked, wv, Some(bv), Activation::Tanh);
+        for (i, &m) in vars.iter().enumerate() {
+            let single = g.linear(m, wv, Some(bv), Activation::Tanh);
+            let seg = &g.value(lb).data()[i * t * n..(i + 1) * t * n];
+            assert_eq!(seg, g.value(single).data(), "linear_batched member {i}");
+        }
+
+        // conv1d_act_batched vs per-member conv1d_act.
+        let cb = g.conv1d_act_batched(stacked, cwv, Some(cbv), PadMode::Causal, Activation::Relu);
+        for (i, &m) in vars.iter().enumerate() {
+            let single = g.conv1d_act(m, cwv, Some(cbv), PadMode::Causal, Activation::Relu);
+            let seg = &g.value(cb).data()[i * t * c..(i + 1) * t * c];
+            assert_eq!(seg, g.value(single).data(), "conv1d_act_batched member {i}");
+        }
+
+        // attention_scores_batched (shared q) vs per-member fused scores.
+        let sb = g.attention_scores_batched(qv, stacked, scale, Some(&mask));
+        for (i, &m) in vars.iter().enumerate() {
+            let single = g.attention_scores(qv, m, scale, Some(&mask));
+            let seg = &g.value(sb).data()[i * t * t..(i + 1) * t * t];
+            assert_eq!(seg, g.value(single).data(), "attention_scores_batched member {i}");
+        }
+
+        // attention_probs_causal_batched vs scores + masked softmax.
+        let pb = g.attention_probs_causal_batched(qv, stacked, scale);
+        for (i, &m) in vars.iter().enumerate() {
+            let scores = g.attention_scores(qv, m, scale, Some(&mask));
+            let probs = g.softmax_rows(scores, None);
+            let seg = &g.value(pb).data()[i * t * t..(i + 1) * t * t];
+            assert_eq!(seg, g.value(probs).data(), "attention_probs_causal member {i}");
+        }
+
+        // matmul_strided vs per-member matmul (probs @ values).
+        let ms = g.matmul_strided(pb, stacked);
+        for (i, &m) in vars.iter().enumerate() {
+            let p = g.slice_batch(pb, i);
+            let single = g.matmul(p, m);
+            let seg = &g.value(ms).data()[i * t * c..(i + 1) * t * c];
+            assert_eq!(seg, g.value(single).data(), "matmul_strided member {i}");
+        }
+
+        // matmul_batched (one GEMM) vs per-member matmul.
+        let mb = g.matmul_batched(stacked, wv);
+        for (i, &m) in vars.iter().enumerate() {
+            let single = g.matmul(m, wv);
+            let seg = &g.value(mb).data()[i * t * n..(i + 1) * t * n];
+            assert_eq!(seg, g.value(single).data(), "matmul_batched member {i}");
+        }
+        assert_eq!(g.value(mb).shape(), &[bt, t, n]);
+    }
+
+    #[test]
+    fn grad_linear_batched() {
+        let inputs = rand_inputs(&[vec![2, 3, 4], vec![4, 2], vec![2]], 121);
+        for act in [Activation::Identity, Activation::Sigmoid] {
+            check(
+                &|g, ins| {
+                    let v = bind_all(g, ins);
+                    let y = g.linear_batched(v[0], v[1], Some(v[2]), act);
+                    g.sum_all(y)
+                },
+                &inputs,
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_conv1d_act_batched() {
+        let inputs = rand_inputs(&[vec![2, 5, 3], vec![3, 3, 2], vec![2]], 122);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let y =
+                    g.conv1d_act_batched(v[0], v[1], Some(v[2]), PadMode::Causal, Activation::Tanh);
+                g.sum_all(y)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_strided_and_stack_slice() {
+        let inputs = rand_inputs(&[vec![2, 3, 4], vec![2, 4, 2]], 123);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let y = g.matmul_strided(v[0], v[1]);
+                let first = g.slice_batch(y, 0);
+                let second = g.slice_batch(y, 1);
+                let s = g.add(first, second);
+                let s = g.tanh(s);
+                g.sum_all(s)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_attention_scores_batched_shared_q() {
+        let inputs = rand_inputs(&[vec![4, 3], vec![2, 4, 3]], 124);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let s = g.attention_scores_batched(v[0], v[1], 0.5, None);
+                let sq = g.mul(s, s);
+                g.sum_all(sq)
+            },
+            &inputs,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_attention_probs_causal_batched() {
+        let inputs = rand_inputs(&[vec![4, 3], vec![2, 4, 3]], 125);
+        check(
+            &|g, ins| {
+                let v = bind_all(g, ins);
+                let p = g.attention_probs_causal_batched(v[0], v[1], 0.6);
+                let sq = g.mul(p, p);
+                g.sum_all(sq)
+            },
+            &inputs,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_vec_scatter_adds() {
+        let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let mut g = Graph::new();
+        let v = g.bind_param(0, x);
+        let picked = g.gather_vec(v, &[2, 0, 2]);
+        assert_eq!(g.value(picked).data(), &[3.0, 1.0, 3.0]);
+        let loss = g.sum_all(picked);
+        g.backward(loss);
+        assert_eq!(g.grad(v).unwrap().data(), &[1.0, 0.0, 2.0]);
+    }
+
+    /// Batched ops draw from the pool too: a reused inference tape running
+    /// a batched op mix reaches the zero-fresh-alloc steady state.
+    #[test]
+    fn batched_ops_reach_zero_alloc_steady_state() {
+        let inputs = rand_inputs(&[vec![5, 4], vec![5, 4], vec![4, 3], vec![5, 4]], 126);
+        let mut g = Graph::for_inference();
+        let run = |g: &mut Graph| {
+            let a = g.constant_from(&inputs[0]);
+            let b = g.constant_from(&inputs[1]);
+            let w = g.constant_from(&inputs[2]);
+            let q = g.constant_from(&inputs[3]);
+            let stacked = g.stack_rows(&[a, b]);
+            let probs = g.attention_probs_causal_batched(q, stacked, 0.5);
+            let msgs = g.matmul_strided(probs, stacked);
+            let proj = g.matmul_batched(msgs, w);
+            let first = g.slice_batch(proj, 0);
+            g.value(first).data().to_vec()
+        };
+        let expected = run(&mut g);
+        g.reset();
+        let _ = run(&mut g);
+        let warm = g.fresh_buffer_allocs();
+        for _ in 0..4 {
+            g.reset();
+            assert_eq!(run(&mut g), expected, "reused batched tape must be bit-identical");
+            assert_eq!(g.fresh_buffer_allocs(), warm, "batched steady state allocated");
         }
     }
 

@@ -274,6 +274,228 @@ pub fn attention_scores_into(
     }
 }
 
+/// Batched matmul with a **shared** right-hand side: one blocked GEMM over
+/// `bt` stacked left operands. `a: [bt · m, k]` (the `bt` per-request
+/// matrices stacked along rows), `b: [k, n]`, `out: [bt · m, n]`.
+///
+/// This is the batch-dispatch primitive of the serving fast path: because
+/// [`matmul_into`] computes every output **row** independently (the cache
+/// blocking runs over `i` and `k`, never across rows' accumulators), the
+/// stacked call is **bit-identical** to `bt` separate `matmul_into` calls —
+/// same per-element summation order — while paying the kernel prologue once
+/// and keeping `b` hot in cache across the whole batch.
+pub fn matmul_batched_into(
+    a: &[f32],
+    b: &[f32],
+    bt: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), bt * m * k, "matmul_batched: lhs buffer is {} not {bt}x{m}x{k}", a.len());
+    assert_eq!(
+        out.len(),
+        bt * m * n,
+        "matmul_batched: out buffer is {} not {bt}x{m}x{n}",
+        out.len()
+    );
+    matmul_into(a, b, bt * m, k, n, out);
+}
+
+/// Strided batched matmul: `out[b] = a[b] @ rhs[b]` for `bt` independent
+/// operand pairs laid out contiguously (`a: [bt, m, k]`, `rhs: [bt, k, n]`,
+/// `out: [bt, m, n]` flattened). Each member dispatches to the blocked
+/// kernel, so every segment is bit-identical to a standalone
+/// [`matmul_into`] call. Used where both operands differ per batch member
+/// (e.g. `attn @ V` across a batch of attention heads).
+pub fn matmul_strided_into(
+    a: &[f32],
+    b: &[f32],
+    bt: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), bt * m * k, "matmul_strided: lhs buffer is {} not {bt}x{m}x{k}", a.len());
+    assert_eq!(b.len(), bt * k * n, "matmul_strided: rhs buffer is {} not {bt}x{k}x{n}", b.len());
+    assert_eq!(
+        out.len(),
+        bt * m * n,
+        "matmul_strided: out buffer is {} not {bt}x{m}x{n}",
+        out.len()
+    );
+    for i in 0..bt {
+        matmul_into(
+            &a[i * m * k..(i + 1) * m * k],
+            &b[i * k * n..(i + 1) * k * n],
+            m,
+            k,
+            n,
+            &mut out[i * m * n..(i + 1) * m * n],
+        );
+    }
+}
+
+/// Fused **causal** attention probabilities:
+/// `out = softmax_rows(scale · (q @ kᵀ) + M)` where `M` is the standard
+/// causal mask (`0` on/below the diagonal, `-1e9` above). One kernel
+/// dispatch replaces the scores + mask + softmax pipeline, and only the
+/// lower triangle is ever computed.
+///
+/// **Bit-exactness contract.** The result is element-wise identical to
+/// [`attention_scores_into`] with the `{0, -1e9}` causal mask followed by a
+/// per-row [`crate::tensor::softmax_in_place`]:
+///
+/// * the row max over the causal prefix equals the full-row max (masked
+///   entries are strictly smaller — asserted below);
+/// * masked entries satisfy `x - max ≤ -1e9 + 2·10⁸ ≪ -104`, so their
+///   `exp` underflows to exactly `0.0`; trailing `+ 0.0` terms never change
+///   the sum's bits, and `0.0 · inv == 0.0` reproduces their output.
+///
+/// The kernel **asserts** (release builds included) that every scaled
+/// score has magnitude below `1e8` — orders of magnitude beyond anything
+/// the model produces — which makes the underflow guarantee unconditional
+/// for all inputs it accepts; the batch-parity proptests and golden
+/// fixtures pin the bit-identity on real model inputs.
+///
+/// `kt_scratch` is a caller-provided `t · c` workspace as in
+/// [`attention_scores_into`]; `q, k: [t, c]`, `out: [t, t]`.
+pub fn attention_probs_causal_into(
+    q: &[f32],
+    k: &[f32],
+    t: usize,
+    c: usize,
+    scale: f32,
+    kt_scratch: &mut [f32],
+    out: &mut [f32],
+) {
+    assert_eq!(q.len(), t * c, "attention_probs: q buffer is {} not {t}x{c}", q.len());
+    assert_eq!(k.len(), t * c, "attention_probs: k buffer is {} not {t}x{c}", k.len());
+    assert_eq!(out.len(), t * t, "attention_probs: out buffer is {} not {t}x{t}", out.len());
+    assert_eq!(
+        kt_scratch.len(),
+        t * c,
+        "attention_probs: scratch is {} not {c}x{t}",
+        kt_scratch.len()
+    );
+    // Full blocked GEMM for the raw scores (the axpy-style inner loops
+    // vectorise far better than per-element triangle dots, even counting
+    // the wasted upper half), then a causal softmax that only scales and
+    // exponentiates the live prefix of each row.
+    transpose_into(k, t, c, kt_scratch);
+    matmul_into(q, kt_scratch, t, c, t, out);
+    // Release-mode contract check, one cheap pass over the raw scores
+    // (~t² compares vs the GEMM's t²·c MACs): the bit-exactness argument
+    // needs every scaled score — masked region included — far below the
+    // 1e9 mask offset so the masked `exp`s underflow to exactly 0.0. A
+    // violation (a numerically exploded model) panics loudly instead of
+    // silently breaking batched-vs-per-request parity. NaN scores pass
+    // this fold (f32::max ignores NaN) and reach the per-row degenerate
+    // handling below.
+    let worst = out.iter().fold(0.0f32, |m, &x| m.max((x * scale).abs()));
+    assert!(
+        worst < 1e8,
+        "attention_probs_causal: score magnitude {worst} breaks the underflow/bit-parity contract"
+    );
+    for r in 0..t {
+        let o_row = &mut out[r * t..(r + 1) * t];
+        let prefix = r + 1;
+        for x in o_row[..prefix].iter_mut() {
+            *x *= scale;
+        }
+        // Row max over the causal prefix == full-row max of the masked
+        // pipeline: masked entries there are `score - 1e9` with
+        // |score| < 1e8 (asserted above), strictly below any unmasked
+        // entry.
+        let max = o_row[..prefix].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        if !max.is_finite() {
+            // Degenerate row (all-NaN scores): match softmax_in_place's
+            // fully-masked fallback over the whole row.
+            let u = 1.0 / t as f32;
+            for x in o_row.iter_mut() {
+                *x = u;
+            }
+            continue;
+        }
+        let mut sum = 0.0;
+        for x in o_row[..prefix].iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in o_row[..prefix].iter_mut() {
+            *x *= inv;
+        }
+        o_row[prefix..].fill(0.0);
+    }
+}
+
+/// Lower-triangular matmul `out[t,n] = a[t,t] @ b[t,n]` for a left operand
+/// whose strict upper triangle is **exactly zero** (causal attention
+/// probabilities). Bit-identical to [`matmul_into`] on the same input: the
+/// kernel replays the same k-blocked 4-unrolled accumulation but skips
+/// unroll groups that lie entirely in the zero region (their contribution
+/// is a `±0.0` add, which never changes the accumulator), and the zero
+/// tail entries are skipped by the same `!= 0.0` test the blocked kernel
+/// applies. Roughly halves the MACs of the `probs @ V` stage.
+pub fn matmul_tri_lower_into(a: &[f32], b: &[f32], t: usize, n: usize, out: &mut [f32]) {
+    check_matmul(a, b, t, t, n, out);
+    // Debug-mode contract check: the strict upper triangle must be exactly
+    // zero, or the skipped groups would silently drop real contributions
+    // (while autodiff backward passes still differentiate the full product).
+    #[cfg(debug_assertions)]
+    for i in 0..t {
+        for (j, &v) in a[i * t..(i + 1) * t].iter().enumerate().skip(i + 1) {
+            debug_assert!(
+                v == 0.0,
+                "matmul_tri_lower: nonzero strict-upper entry {v} at ({i}, {j})"
+            );
+        }
+    }
+    out.fill(0.0);
+    for i in 0..t {
+        let a_row = &a[i * t..(i + 1) * t];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        // Live prefix of row i is 0..=i; process every 4-wide group the
+        // blocked kernel would, but stop after the last group touching it.
+        for p0 in (0..t).step_by(MATMUL_BLOCK) {
+            if p0 > i {
+                break;
+            }
+            let p1 = (p0 + MATMUL_BLOCK).min(t);
+            let mut p = p0;
+            while p + 4 <= p1 {
+                if p > i {
+                    break;
+                }
+                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+                p += 4;
+            }
+            // Tail of the block (t % 4 entries), zero-skipped exactly like
+            // the blocked kernel's remainder loop.
+            while p < p1 {
+                let av = a_row[p];
+                if av != 0.0 {
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+                p += 1;
+            }
+        }
+    }
+}
+
 /// Left zero-padding implied by a [`PadMode`] for kernel width `k`.
 #[inline]
 pub fn conv_left_pad(k: usize, pad: PadMode) -> usize {
@@ -578,6 +800,123 @@ mod tests {
             assert_close(&dx2, dx.data(), 1e-4, "dx");
             assert_close(&dw2, dw.data(), 1e-4, "dw");
             assert_close(&db2, db.data(), 1e-4, "db");
+        }
+    }
+
+    /// The batched entry point (one GEMM over stacked left operands) is
+    /// **bit-identical** to the per-member loop — the exact-parity contract
+    /// the batched serving path is built on.
+    #[test]
+    fn batched_matmul_is_bit_identical_to_looped() {
+        for &(bt, m, k, n) in &[(1usize, 3usize, 5usize, 4usize), (4, 1, 24, 3), (3, 24, 8, 24)] {
+            let a = randv(bt * m * k, 51 + bt as u64);
+            let b = randv(k * n, 52 + n as u64);
+            let mut batched = vec![0.0; bt * m * n];
+            matmul_batched_into(&a, &b, bt, m, k, n, &mut batched);
+            let mut looped = vec![0.0; bt * m * n];
+            for i in 0..bt {
+                matmul_into(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &b,
+                    m,
+                    k,
+                    n,
+                    &mut looped[i * m * n..(i + 1) * m * n],
+                );
+            }
+            assert_eq!(batched, looped, "batched GEMM diverged at {bt}x{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn strided_matmul_is_bit_identical_to_looped() {
+        let (bt, m, k, n) = (3usize, 6usize, 6usize, 4usize);
+        let a = randv(bt * m * k, 61);
+        let b = randv(bt * k * n, 62);
+        let mut strided = vec![0.0; bt * m * n];
+        matmul_strided_into(&a, &b, bt, m, k, n, &mut strided);
+        let mut looped = vec![0.0; bt * m * n];
+        for i in 0..bt {
+            matmul_into(
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                m,
+                k,
+                n,
+                &mut looped[i * m * n..(i + 1) * m * n],
+            );
+        }
+        assert_eq!(strided, looped);
+    }
+
+    /// The fused causal-probability kernel is **bit-identical** to the
+    /// unfused scores (+causal mask) → softmax pipeline, for sizes
+    /// straddling the matmul block boundary.
+    #[test]
+    fn causal_probs_are_bit_identical_to_unfused_pipeline() {
+        for &(t, c) in &[(1usize, 1usize), (6, 8), (24, 8), (7, MATMUL_BLOCK + 3)] {
+            let q = randv(t * c, 71 + t as u64);
+            let k = randv(t * c, 72 + c as u64);
+            let mut mask = vec![0.0f32; t * t];
+            for i in 0..t {
+                for j in (i + 1)..t {
+                    mask[i * t + j] = -1e9;
+                }
+            }
+            let scale = 1.0 / (c as f32).sqrt();
+            let mut scratch = vec![0.0; t * c];
+            let mut want = vec![0.0; t * t];
+            attention_scores_into(&q, &k, t, t, c, scale, Some(&mask), &mut scratch, &mut want);
+            for row in want.chunks_mut(t) {
+                crate::tensor::softmax_in_place(row);
+            }
+            let mut got = vec![0.0; t * t];
+            attention_probs_causal_into(&q, &k, t, c, scale, &mut scratch, &mut got);
+            assert_eq!(got, want, "causal probs diverged at t={t} c={c}");
+        }
+    }
+
+    /// The triangular matmul is bit-identical to the blocked kernel on a
+    /// left operand with an exactly-zero strict upper triangle.
+    #[test]
+    fn tri_matmul_is_bit_identical_to_blocked_on_causal_probs() {
+        for &(t, n) in &[(1usize, 1usize), (6, 8), (24, 8), (23, 5), (MATMUL_BLOCK + 5, 7)] {
+            let mut probs = randv(t * t, 91 + t as u64);
+            for i in 0..t {
+                for j in (i + 1)..t {
+                    probs[i * t + j] = 0.0;
+                }
+            }
+            let b = randv(t * n, 92 + n as u64);
+            let mut want = vec![0.0; t * n];
+            matmul_into(&probs, &b, t, t, n, &mut want);
+            let mut got = vec![0.0; t * n];
+            matmul_tri_lower_into(&probs, &b, t, n, &mut got);
+            assert_eq!(got, want, "tri matmul diverged at t={t} n={n}");
+        }
+    }
+
+    #[test]
+    fn causal_probs_rows_are_distributions_with_zero_future() {
+        let (t, c) = (10usize, 8usize);
+        let q = randv(t * c, 81);
+        let k = randv(t * c, 82);
+        let mut scratch = vec![0.0; t * c];
+        let mut probs = vec![0.0; t * t];
+        attention_probs_causal_into(
+            &q,
+            &k,
+            t,
+            c,
+            1.0 / (c as f32).sqrt(),
+            &mut scratch,
+            &mut probs,
+        );
+        for r in 0..t {
+            let row = &probs[r * t..(r + 1) * t];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(row[r + 1..].iter().all(|&x| x == 0.0), "future leak in row {r}");
         }
     }
 

@@ -2,9 +2,10 @@
 //! step and produces finite, correctly-shaped, non-negative predictions on
 //! the same dataset.
 
-use gaia_core::trainer::{predict_nodes, train, TrainConfig};
+use gaia_core::trainer::{predict_batch_with, predict_nodes, train, InferenceScratch, TrainConfig};
 use gaia_eval::{build_model, ModelKind};
 use gaia_synth::{generate_dataset, WorldConfig};
+use std::fmt::Write as _;
 
 #[test]
 fn every_neural_model_trains_and_predicts() {
@@ -35,6 +36,98 @@ fn every_neural_model_trains_and_predicts() {
                 p.model_space
             );
         }
+    }
+}
+
+/// Path of the committed golden prediction fixtures, relative to the crate
+/// root (where `cargo test` runs integration tests).
+const GOLDEN_PATH: &str = "tests/golden/predictions.txt";
+
+/// Render the golden fixture: for every model-zoo configuration on the
+/// fixed-seed world, the exact f32 bit patterns of its predictions.
+fn render_golden() -> String {
+    let (world, ds) = generate_dataset(WorldConfig { n_shops: 90, ..WorldConfig::tiny() });
+    let nodes: Vec<usize> = ds.splits.test.iter().take(4).copied().collect();
+    let mut out = String::from(
+        "# Golden predictions for the model-zoo configurations (fixed-seed world:\n\
+         # n_shops=90 over WorldConfig::tiny, model seed 3, prediction seed 11).\n\
+         # One line per model and centre: `<label> node=<id> <f32 bit patterns in hex>`\n\
+         # (model-space predictions from predict_nodes; predict_batch_with is asserted\n\
+         # equal to these same bits, so the fixture locks BOTH inference paths).\n\
+         # Any drift fails tests/model_zoo.rs::golden_predictions_have_not_drifted.\n\
+         #\n\
+         # Reference platform: x86_64-unknown-linux-gnu (the CI target). The\n\
+         # bits go through libm transcendentals (exp/tanh), so a different\n\
+         # libm (macOS, musl, a future glibc) may legitimately differ by an\n\
+         # ulp — if the suite fails ONLY on a non-reference platform with no\n\
+         # code change, that is platform drift, not a regression.\n\
+         #\n\
+         # To regenerate after an INTENTIONAL numeric change (on the\n\
+         # reference platform):\n\
+         #     UPDATE_GOLDEN=1 cargo test -q --test model_zoo golden\n\
+         # then eyeball the diff and commit it together with the change.\n",
+    );
+    let mut seen = Vec::new();
+    for &kind in ModelKind::table1_neural().iter().chain(ModelKind::table2()) {
+        if seen.contains(&kind.label()) {
+            continue; // Gaia appears in both tables.
+        }
+        seen.push(kind.label());
+        let model = build_model(kind, &ds, 3);
+        let preds = predict_nodes(&*model, &ds, &world.graph, &nodes, 11, 2);
+        // The batched path must produce the same bits (parity contract).
+        let mut scratch = InferenceScratch::new();
+        let batched = predict_batch_with(&*model, &ds, &world.graph, &nodes, 11, &mut scratch);
+        for (p, b) in preds.iter().zip(&batched) {
+            assert_eq!(
+                p.model_space, b.model_space,
+                "{kind:?}: batched predictions diverge from predict_nodes"
+            );
+            let mut line = format!("{} node={}", kind.label(), p.node);
+            for &v in &p.model_space {
+                write!(line, " {:08x}", v.to_bits()).unwrap();
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// GOLDEN REGRESSION WALL: every model-zoo configuration's predictions on
+/// the fixed-seed world must match the committed fixtures **bit for bit**
+/// (and the batched inference path must match them too, via the assertion
+/// inside [`render_golden`]). Catches any numeric drift anywhere in the
+/// tensor/nn/core stack. Set `UPDATE_GOLDEN=1` to regenerate after an
+/// intentional change.
+#[test]
+fn golden_predictions_have_not_drifted() {
+    let rendered = render_golden();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all("tests/golden").expect("create tests/golden");
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden fixture");
+        eprintln!("golden fixture regenerated at {GOLDEN_PATH}; diff and commit it");
+        return;
+    }
+    let committed = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden fixture {GOLDEN_PATH} ({e}); run UPDATE_GOLDEN=1 to create it")
+    });
+    if committed != rendered {
+        // Report the first diverging line, not a wall of hex.
+        for (i, (want, got)) in committed.lines().zip(rendered.lines()).enumerate() {
+            assert_eq!(
+                want,
+                got,
+                "golden drift at {GOLDEN_PATH}:{} — if intentional, regenerate with \
+                 UPDATE_GOLDEN=1 and commit the diff",
+                i + 1
+            );
+        }
+        panic!(
+            "golden fixture {GOLDEN_PATH} length changed ({} vs {} lines)",
+            committed.lines().count(),
+            rendered.lines().count()
+        );
     }
 }
 

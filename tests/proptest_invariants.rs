@@ -1,13 +1,16 @@
 //! Property-based tests over the core data structures and numerical
 //! invariants, spanning several crates.
 
+use gaia_core::trainer::{predict_batch_with, predict_one_with, InferenceScratch};
+use gaia_core::{Gaia, GaiaConfig};
 use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
-use gaia_synth::Scaler;
+use gaia_synth::{generate_dataset, Scaler, WorldConfig};
 use gaia_tensor::kernels::{
-    attention_scores_into, conv1d_fused_into, matmul_into, matmul_naive_into, matmul_nt_into,
-    matmul_tn_into, MATMUL_BLOCK,
+    attention_probs_causal_into, attention_scores_into, conv1d_fused_into, matmul_batched_into,
+    matmul_into, matmul_naive_into, matmul_nt_into, matmul_strided_into, matmul_tn_into,
+    matmul_tri_lower_into, MATMUL_BLOCK,
 };
-use gaia_tensor::{conv1d, Activation, Graph, PadMode, Tensor};
+use gaia_tensor::{conv1d, softmax_in_place, Activation, Graph, PadMode, Tensor};
 use gaia_timeseries::{acf, auto_arima};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -228,6 +231,90 @@ proptest! {
         }
     }
 
+    /// KERNEL PARITY — the batched matmul entry points are **bit-identical**
+    /// to per-member blocked matmuls: `matmul_batched_into` (one GEMM over
+    /// stacked left operands, shared RHS) and `matmul_strided_into`
+    /// (independent operand pairs). Exact equality, not tolerance: batching
+    /// must never change the summation order.
+    #[test]
+    fn batched_matmul_kernels_bit_identical_to_looped(
+        bt in 1usize..6,
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = if seed % 3 == 0 { k + MATMUL_BLOCK } else { k };
+        let a = Tensor::randn(vec![bt, m, k], 1.0, &mut rng);
+        let shared = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let mut batched = vec![0.0f32; bt * m * n];
+        matmul_batched_into(a.data(), shared.data(), bt, m, k, n, &mut batched);
+        let mut looped = vec![0.0f32; bt * m * n];
+        for i in 0..bt {
+            matmul_into(
+                &a.data()[i * m * k..(i + 1) * m * k],
+                shared.data(),
+                m, k, n,
+                &mut looped[i * m * n..(i + 1) * m * n],
+            );
+        }
+        prop_assert_eq!(&batched, &looped, "matmul_batched diverged at {}x{}x{}x{}", bt, m, k, n);
+
+        let b = Tensor::randn(vec![bt, k, n], 1.0, &mut rng);
+        let mut strided = vec![0.0f32; bt * m * n];
+        matmul_strided_into(a.data(), b.data(), bt, m, k, n, &mut strided);
+        let mut looped = vec![0.0f32; bt * m * n];
+        for i in 0..bt {
+            matmul_into(
+                &a.data()[i * m * k..(i + 1) * m * k],
+                &b.data()[i * k * n..(i + 1) * k * n],
+                m, k, n,
+                &mut looped[i * m * n..(i + 1) * m * n],
+            );
+        }
+        prop_assert_eq!(&strided, &looped, "matmul_strided diverged at {}x{}x{}x{}", bt, m, k, n);
+    }
+
+    /// KERNEL PARITY — the fused causal attention-probability kernel is
+    /// **bit-identical** to masked scores followed by a full row softmax,
+    /// and the triangular matmul is bit-identical to the blocked kernel on
+    /// the resulting probabilities.
+    #[test]
+    fn causal_probs_and_tri_matmul_bit_identical_to_unfused(
+        t in 1usize..16,
+        c in 1usize..16,
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::randn(vec![t, c], 1.0, &mut rng);
+        let k = Tensor::randn(vec![t, c], 1.0, &mut rng);
+        let mut mask = vec![0.0f32; t * t];
+        for i in 0..t {
+            for j in (i + 1)..t {
+                mask[i * t + j] = -1e9;
+            }
+        }
+        let scale = 1.0 / (c as f32).sqrt();
+        let mut scratch = vec![0.0f32; t * c];
+        let mut want = vec![0.0f32; t * t];
+        attention_scores_into(q.data(), k.data(), t, t, c, scale, Some(&mask), &mut scratch, &mut want);
+        for row in want.chunks_mut(t) {
+            softmax_in_place(row);
+        }
+        let mut got = vec![0.0f32; t * t];
+        attention_probs_causal_into(q.data(), k.data(), t, c, scale, &mut scratch, &mut got);
+        prop_assert_eq!(&got, &want, "causal probs diverged at t={} c={}", t, c);
+
+        let v = Tensor::randn(vec![t, n], 1.0, &mut rng);
+        let mut full = vec![0.0f32; t * n];
+        matmul_into(&got, v.data(), t, t, n, &mut full);
+        let mut tri = vec![0.0f32; t * n];
+        matmul_tri_lower_into(&got, v.data(), t, n, &mut tri);
+        prop_assert_eq!(&tri, &full, "tri matmul diverged at t={} n={}", t, n);
+    }
+
     /// Matmul distributes over addition: (A+B)C = AC + BC.
     #[test]
     fn matmul_distributive(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
@@ -316,6 +403,66 @@ proptest! {
             for &v in &a {
                 prop_assert!(v.abs() <= 1.0 + 1e-6, "acf out of range: {v}");
             }
+        }
+    }
+}
+
+// Batch-parity properties build a full world + model per case, so they run
+// with a smaller case budget than the cheap numeric properties above
+// (PROPTEST_CASES still scales them in CI).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// BATCH PARITY — the headline invariant of the batched inference
+    /// path: for random worlds, random Gaia depths/fanouts and every batch
+    /// size 1..=16, `predict_batch_with` is **element-wise identical**
+    /// (exact f32 equality — same kernels, same summation order) to a
+    /// `predict_one_with` loop with the same seed. Batch size 1 is
+    /// asserted to be the per-request path by construction.
+    #[test]
+    fn predict_batch_matches_per_request_loop(
+        world_seed in 0u64..10_000,
+        n_shops in 30usize..70,
+        batch in 1usize..=16,
+        layers in 1usize..=2,
+        hops in 1usize..=2,
+        fanout in 1usize..=4,
+        pred_seed in 0u64..1_000,
+    ) {
+        let (world, ds) = generate_dataset(WorldConfig {
+            n_shops,
+            seed: world_seed,
+            ..WorldConfig::tiny()
+        });
+        let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 8;
+        cfg.kernel_groups = 2;
+        cfg.layers = layers;
+        cfg.ego = EgoConfig { hops, fanout };
+        let model = Gaia::new(cfg, world_seed ^ 0x5A5A);
+        let centers: Vec<usize> = (0..batch).map(|i| (i * 7 + 3) % ds.n).collect();
+
+        let mut loop_scratch = InferenceScratch::new();
+        let expected: Vec<_> = centers
+            .iter()
+            .map(|&c| predict_one_with(&model, &ds, &world.graph, c, pred_seed, &mut loop_scratch))
+            .collect();
+        let mut batch_scratch = InferenceScratch::new();
+        let got =
+            predict_batch_with(&model, &ds, &world.graph, &centers, pred_seed, &mut batch_scratch);
+        prop_assert_eq!(got.len(), expected.len());
+        for (a, b) in got.iter().zip(&expected) {
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(&a.model_space, &b.model_space,
+                "batch size {} diverged from the per-request loop", batch);
+            prop_assert_eq!(&a.currency, &b.currency);
+        }
+        // A second pass on the same (now warm) scratch must still agree —
+        // cache hits may never change a prediction.
+        let again =
+            predict_batch_with(&model, &ds, &world.graph, &centers, pred_seed, &mut batch_scratch);
+        for (a, b) in again.iter().zip(&expected) {
+            prop_assert_eq!(&a.model_space, &b.model_space, "warm-cache batch diverged");
         }
     }
 }
