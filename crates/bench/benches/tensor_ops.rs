@@ -250,12 +250,97 @@ fn bench_causal_attention_batched_vs_unfused(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR-6 `simd`-vs-scalar sweep. The kernel build is a compile-time feature,
+/// so one binary cannot time both GEMM paths: the group's IDs carry the
+/// compiled feature (`simd` / `scalar`) and the cross-build comparison is
+/// made with criterion's `--save-baseline` between two runs — see
+/// `crates/bench/README.md` for the protocol. The transcendental selectors
+/// ARE both present in either build, so `exp`/`tanh` polynomial-vs-libm is
+/// compared directly in-process.
+fn bench_simd_vs_scalar(c: &mut Criterion) {
+    let build = if cfg!(feature = "simd") { "simd" } else { "scalar" };
+    let mut rng = StdRng::seed_from_u64(9);
+    let (t, ch) = (24usize, 8usize);
+    let q = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let k = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let v = Tensor::randn(vec![t, ch], 1.0, &mut rng);
+    let scale = 1.0 / (ch as f32).sqrt();
+    let mut scratch = vec![0.0f32; t * ch];
+    let mut probs = vec![0.0f32; t * t];
+    let mut att = vec![0.0f32; t * ch];
+    let mut group = c.benchmark_group("simd_vs_scalar");
+
+    // The two CAU hot kernels, compiled under whichever feature is on.
+    group.bench_function(BenchmarkId::new("causal_probs_24x8", build), |bench| {
+        bench.iter(|| {
+            attention_probs_causal_into(q.data(), k.data(), t, ch, scale, &mut scratch, &mut probs);
+            black_box(probs[0])
+        });
+    });
+    attention_probs_causal_into(q.data(), k.data(), t, ch, scale, &mut scratch, &mut probs);
+    group.bench_function(BenchmarkId::new("probs_at_v_tri_24x8", build), |bench| {
+        bench.iter(|| {
+            matmul_tri_lower_into(&probs, v.data(), t, ch, &mut att);
+            black_box(att[0])
+        });
+    });
+    // Small-k GEMM at the score shape — the register-tiled path under
+    // `simd`, the 4-group axpy path without it.
+    let kt = Tensor::randn(vec![ch, t], 1.0, &mut rng);
+    let mut scores = vec![0.0f32; t * t];
+    group.bench_function(BenchmarkId::new("gemm_24x8_8x24", build), |bench| {
+        bench.iter(|| {
+            matmul_into(q.data(), kt.data(), t, ch, t, &mut scores);
+            black_box(scores[0])
+        });
+    });
+
+    // Transcendental selectors: both variants exist in every build, so the
+    // polynomial-vs-libm ratio is measured in-process over a 576-element
+    // map (the causal-probs working-set size).
+    let xs: Vec<f32> = (0..t * t).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.05).collect();
+    let mut ys = vec![0.0f32; t * t];
+    group.bench_function("exp_map_576/polynomial", |bench| {
+        bench.iter(|| {
+            for (y, &x) in ys.iter_mut().zip(xs.iter()) {
+                *y = gaia_tensor::simd::exp_approx(x);
+            }
+            black_box(&mut ys);
+        });
+    });
+    group.bench_function("exp_map_576/libm", |bench| {
+        bench.iter(|| {
+            for (y, &x) in ys.iter_mut().zip(xs.iter()) {
+                *y = x.exp();
+            }
+            black_box(&mut ys);
+        });
+    });
+    group.bench_function("tanh_map_576/polynomial", |bench| {
+        bench.iter(|| {
+            for (y, &x) in ys.iter_mut().zip(xs.iter()) {
+                *y = gaia_tensor::simd::tanh_approx(x);
+            }
+            black_box(&mut ys);
+        });
+    });
+    group.bench_function("tanh_map_576/libm", |bench| {
+        bench.iter(|| {
+            for (y, &x) in ys.iter_mut().zip(xs.iter()) {
+                *y = x.tanh();
+            }
+            black_box(&mut ys);
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2)).sample_size(10);
     targets = bench_matmul, bench_attention_shapes, bench_conv1d,
         bench_matmul_blocked_vs_naive, bench_conv1d_fused_vs_naive,
         bench_attention_scores_fused_vs_naive, bench_matmul_batched_vs_looped,
-        bench_causal_attention_batched_vs_unfused
+        bench_causal_attention_batched_vs_unfused, bench_simd_vs_scalar
 }
 criterion_main!(benches);

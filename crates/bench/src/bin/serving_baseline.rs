@@ -1,16 +1,19 @@
-//! Emit the serving-throughput benchmark (`BENCH_pr4.json`) from
+//! Emit the serving-throughput benchmark (`BENCH_pr6.json`) from
 //! [`gaia_serving::ServeStats`]: train one offline cycle on the shared bench
 //! world, boot the online server and measure batch-prediction throughput and
 //! latency percentiles across (a) the 1/2/4/8-worker sweep at micro-batch 1
-//! (directly comparable to the frozen `BENCH_pr3.json`) and (b) the PR-4
-//! **micro-batch sweep** at one worker (1/2/4/8/16 requests per tape), the
-//! single-core lever this PR adds.
+//! (directly comparable to the frozen `BENCH_pr3.json`) and (b) the
+//! **micro-batch sweep** at one worker (1/2/4/8/16 requests per tape),
+//! comparable to the frozen `BENCH_pr4.json`. PR 6 runs the same protocol
+//! on the SIMD kernel build; build with `--no-default-features` to measure
+//! the scalar fallback instead (see `crates/bench/README.md`).
 //!
 //! Run from the repo root with `cargo run --release -p gaia-bench --bin
 //! serving_baseline`. The file is committed next to the frozen baselines
-//! (`BENCH_seed.json`, `BENCH_pr2.json`, `BENCH_pr3.json`); PRs compare
-//! their numbers against them — see `crates/bench/README.md` for the
-//! comparison protocol and expected machine variance.
+//! (`BENCH_seed.json`, `BENCH_pr2.json`, `BENCH_pr3.json`,
+//! `BENCH_pr4.json`); PRs compare their numbers against them — see
+//! `crates/bench/README.md` for the comparison protocol and expected
+//! machine variance.
 
 use gaia_bench::bench_world;
 use gaia_core::trainer::TrainConfig;
@@ -46,6 +49,13 @@ struct Baseline {
     /// Best batched throughput vs PR 3 — the PR-4 acceptance figure
     /// (target ≥ 1.3×).
     speedup_vs_pr3_1worker: f64,
+    /// Committed best-batched reference from BENCH_pr4.json and this run's
+    /// speedup over it — the PR-6 SIMD acceptance figure (target ≥ 1.5×
+    /// with the `simd` feature on).
+    pr4_best_batched_per_second: f64,
+    speedup_vs_pr4_best_batched: f64,
+    /// Whether the `simd` kernel feature was compiled in for this run.
+    simd: bool,
     /// Mean single-worker service time in µs per request at the best
     /// micro-batch size.
     forward_us_per_request: f64,
@@ -71,6 +81,10 @@ const SEED_1WORKER_PER_SECOND: f64 = 4264.133884849303;
 /// 1-worker `per_second` recorded in BENCH_pr3.json at PR 3 (same rule as
 /// the seed constant).
 const PR3_1WORKER_PER_SECOND: f64 = 17821.601491881906;
+
+/// `best_batched_per_second` recorded in BENCH_pr4.json at PR 4 (same rule
+/// as the seed constant) — the pre-SIMD batched reference.
+const PR4_BEST_BATCHED_PER_SECOND: f64 = 36334.42348715269;
 
 /// Best of three: on a shared box the max is the least noisy estimator of
 /// the machine's capability.
@@ -150,14 +164,17 @@ fn main() {
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let baseline = Baseline {
-        description: "ServeStats throughput/latency for ModelServer::predict_many across a \
-                      1/2/4/8-worker sweep (micro-batch 1, comparable to BENCH_pr3) plus the \
-                      PR-4 single-worker micro-batch sweep (predict_many_batched, 1/2/4/8/16 \
-                      requests per tape) on the shared bench world (200 shops, 1-epoch offline \
-                      cycle, seed 7/42); epoch-snapshot server, per-worker inference contexts, \
-                      kernel layer with pooled zero-alloc tapes, batched tape dispatch with \
-                      publish-time embedding + layer-0 projection precompute"
-            .to_string(),
+        description: format!(
+            "ServeStats throughput/latency for ModelServer::predict_many across a \
+             1/2/4/8-worker sweep (micro-batch 1, comparable to BENCH_pr3) plus the \
+             single-worker micro-batch sweep (predict_many_batched, 1/2/4/8/16 \
+             requests per tape, comparable to BENCH_pr4) on the shared bench world \
+             (200 shops, 1-epoch offline cycle, seed 7/42); epoch-snapshot server, \
+             per-worker inference contexts, kernel layer with pooled zero-alloc \
+             tapes, batched tape dispatch with publish-time embedding + layer-0 \
+             projection precompute, PR-6 SIMD micro-kernels (feature simd={})",
+            cfg!(feature = "simd")
+        ),
         n_shops: n,
         requests: shops.len(),
         hardware_cores: cores,
@@ -170,18 +187,23 @@ fn main() {
         pr3_1worker_per_second: PR3_1WORKER_PER_SECOND,
         batch1_vs_pr3_1worker: batch1_per_second / PR3_1WORKER_PER_SECOND,
         speedup_vs_pr3_1worker: best_batched_per_second / PR3_1WORKER_PER_SECOND,
+        pr4_best_batched_per_second: PR4_BEST_BATCHED_PER_SECOND,
+        speedup_vs_pr4_best_batched: best_batched_per_second / PR4_BEST_BATCHED_PER_SECOND,
+        simd: cfg!(feature = "simd"),
         forward_us_per_request: 1e6 * best_seconds / shops.len() as f64,
     };
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serialises");
-    std::fs::write("BENCH_pr4.json", json + "\n").expect("write BENCH_pr4.json");
+    std::fs::write("BENCH_pr6.json", json + "\n").expect("write BENCH_pr6.json");
     println!(
-        "wrote BENCH_pr4.json ({cores} cores): mb=1 {:.1}/s ({:.2}x pr3), best mb={} \
-         {:.1}/s = {:.1} µs/req ({:.2}x pr3, {:.2}x seed)",
+        "wrote BENCH_pr6.json ({cores} cores, simd={}): mb=1 {:.1}/s ({:.2}x pr3), best mb={} \
+         {:.1}/s = {:.1} µs/req ({:.2}x pr4 best, {:.2}x pr3, {:.2}x seed)",
+        cfg!(feature = "simd"),
         batch1_per_second,
         batch1_per_second / PR3_1WORKER_PER_SECOND,
         best_micro_batch,
         best_batched_per_second,
         1e6 * best_seconds / shops.len() as f64,
+        best_batched_per_second / PR4_BEST_BATCHED_PER_SECOND,
         best_batched_per_second / PR3_1WORKER_PER_SECOND,
         best_batched_per_second / SEED_1WORKER_PER_SECOND
     );

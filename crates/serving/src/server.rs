@@ -83,8 +83,22 @@ pub struct ServeStats {
     /// How many micro-batches of each size the workers drained:
     /// `per_batch_size[s - 1]` is the number of tapes that packed exactly
     /// `s` requests. With `micro_batch = 1` this is `[requests]`; larger
-    /// caps show how full the queue actually kept the batches.
+    /// caps show how full the queue actually kept the batches. The last
+    /// entry doubles as an **overflow bucket**: a batch larger than the
+    /// preallocated range saturates into it (see `record_batch_size`)
+    /// instead of panicking the worker.
     pub per_batch_size: Vec<usize>,
+}
+
+/// Count one drained micro-batch of `batch_len` requests into the size
+/// histogram, saturating out-of-range sizes into the **last** bucket: a
+/// drain strategy that ever overshoots the preallocated cap (or a zero
+/// cap) must degrade the telemetry, never panic the serving worker.
+fn record_batch_size(hist: &mut [usize], batch_len: usize) {
+    let bucket = batch_len.saturating_sub(1).min(hist.len().saturating_sub(1));
+    if let Some(count) = hist.get_mut(bucket) {
+        *count += 1;
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice; `p` in `[0, 1]`.
@@ -293,7 +307,7 @@ impl ModelServer {
                             }
                             let preds = ctx.predict_batch(&batch);
                             let finished = enqueue.elapsed().as_secs_f64();
-                            batch_sizes[batch.len() - 1] += 1;
+                            record_batch_size(&mut batch_sizes, batch.len());
                             for (&s, pred) in slots.iter().zip(preds) {
                                 done.push((s, pred, finished));
                             }
@@ -437,6 +451,26 @@ mod tests {
         let (artifact, ds, _) = pipeline.execute_month(&world);
         let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
         (server, pipeline, world)
+    }
+
+    #[test]
+    fn batch_size_histogram_saturates_instead_of_panicking() {
+        let mut hist = vec![0usize; 4];
+        record_batch_size(&mut hist, 1);
+        record_batch_size(&mut hist, 4);
+        assert_eq!(hist, vec![1, 0, 0, 1]);
+        // Sizes beyond the preallocated range land in the last (overflow)
+        // bucket rather than indexing out of bounds.
+        record_batch_size(&mut hist, 5);
+        record_batch_size(&mut hist, 100);
+        assert_eq!(hist, vec![1, 0, 0, 3]);
+        // Degenerate zero-size batch saturates low into the first bucket.
+        record_batch_size(&mut hist, 0);
+        assert_eq!(hist, vec![2, 0, 0, 3]);
+        // Empty histogram (micro_batch = 0) must be a no-op, not a panic.
+        let mut empty: Vec<usize> = Vec::new();
+        record_batch_size(&mut empty, 3);
+        assert!(empty.is_empty());
     }
 
     #[test]

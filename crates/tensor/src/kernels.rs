@@ -34,6 +34,44 @@ use crate::tensor::PadMode;
 /// of `A` plus the touched rows of `B` fit comfortably in L1 for `f32`.
 pub const MATMUL_BLOCK: usize = 64;
 
+// ---------------------------------------------------------------------
+// Transcendental selectors — the only place the `simd` feature changes
+// *bits*. Everything else the feature flips (lane-array loop bodies) is
+// an order-preserving restructure of the same arithmetic.
+// ---------------------------------------------------------------------
+
+/// `e^x` on the model value path: libm (bit-exact with the committed
+/// goldens) on the scalar build, the vectorisable polynomial
+/// [`crate::simd::exp_approx`] when the `simd` feature is on. Both honour
+/// the masked-softmax underflow contract: the result is **exactly `0.0`**
+/// for every `x ≤ -104` (libm) resp. `x < -87.34` (polynomial, which
+/// flushes would-be subnormal outputs to zero).
+#[inline]
+pub fn exp_f32(x: f32) -> f32 {
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::exp_approx(x)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        x.exp()
+    }
+}
+
+/// `tanh x` on the model value path — libm on the scalar build, the
+/// rational polynomial [`crate::simd::tanh_approx`] under `simd`.
+#[inline]
+pub fn tanh_f32(x: f32) -> f32 {
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::tanh_approx(x)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        x.tanh()
+    }
+}
+
 /// Activation fused into the kernel epilogues.
 ///
 /// Only activations whose derivative is expressible **in terms of the
@@ -59,8 +97,8 @@ impl Activation {
         match self {
             Activation::Identity => x,
             Activation::Relu => x.max(0.0),
-            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
-            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + exp_f32(-x)),
+            Activation::Tanh => tanh_f32(x),
         }
     }
 
@@ -79,6 +117,76 @@ impl Activation {
             Activation::Sigmoid => y * (1.0 - y),
             Activation::Tanh => 1.0 - y * y,
         }
+    }
+}
+
+/// Four-row axpy: `o[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]`,
+/// the inner loop body shared by the blocked matmul family.
+///
+/// Both implementations evaluate the identical left-to-right per-element
+/// expression — the `simd` build only *groups* `j` into [`crate::simd::LANES`]-wide
+/// blocks (explicit lane structure LLVM lowers to packed loads/FMA-free
+/// mul-adds), it never reassociates the `k` accumulation, so the two
+/// builds are **bit-identical** here.
+#[cfg(feature = "simd")]
+#[inline]
+fn axpy4(o_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    const L: usize = crate::simd::LANES;
+    let mut o_it = o_row.chunks_exact_mut(L);
+    let mut b0_it = b0.chunks_exact(L);
+    let mut b1_it = b1.chunks_exact(L);
+    let mut b2_it = b2.chunks_exact(L);
+    let mut b3_it = b3.chunks_exact(L);
+    for ((((o, c0), c1), c2), c3) in o_it
+        .by_ref()
+        .zip(b0_it.by_ref())
+        .zip(b1_it.by_ref())
+        .zip(b2_it.by_ref())
+        .zip(b3_it.by_ref())
+    {
+        for l in 0..L {
+            o[l] += a[0] * c0[l] + a[1] * c1[l] + a[2] * c2[l] + a[3] * c3[l];
+        }
+    }
+    let o_rem = o_it.into_remainder();
+    let (r0, r1) = (b0_it.remainder(), b1_it.remainder());
+    let (r2, r3) = (b2_it.remainder(), b3_it.remainder());
+    for (j, o) in o_rem.iter_mut().enumerate() {
+        *o += a[0] * r0[j] + a[1] * r1[j] + a[2] * r2[j] + a[3] * r3[j];
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn axpy4(o_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    for (j, o) in o_row.iter_mut().enumerate() {
+        *o += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+    }
+}
+
+/// Single-row axpy `o[j] += av · b[j]` (callers apply the zero-skip). Same
+/// bit-identity argument as [`axpy4`].
+#[cfg(feature = "simd")]
+#[inline]
+fn axpy1(o_row: &mut [f32], av: f32, b_row: &[f32]) {
+    const L: usize = crate::simd::LANES;
+    let mut o_it = o_row.chunks_exact_mut(L);
+    let mut b_it = b_row.chunks_exact(L);
+    for (o, c) in o_it.by_ref().zip(b_it.by_ref()) {
+        for l in 0..L {
+            o[l] += av * c[l];
+        }
+    }
+    for (o, &bv) in o_it.into_remainder().iter_mut().zip(b_it.remainder()) {
+        *o += av * bv;
+    }
+}
+
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn axpy1(o_row: &mut [f32], av: f32, b_row: &[f32]) {
+    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+        *o += av * bv;
     }
 }
 
@@ -114,6 +222,9 @@ pub fn matmul_naive_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out
 /// of `a`. Handles any shape, including non-multiples of the block size.
 pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
     check_matmul(a, b, m, k, n, out);
+    if k <= MATMUL_BLOCK {
+        return matmul_small_k(a, b, m, k, n, out);
+    }
     out.fill(0.0);
     for i0 in (0..m).step_by(MATMUL_BLOCK) {
         let i1 = (i0 + MATMUL_BLOCK).min(m);
@@ -124,28 +235,179 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
                 let o_row = &mut out[i * n..(i + 1) * n];
                 let mut p = p0;
                 while p + 4 <= p1 {
-                    let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                    let a4 = [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]];
                     let b0 = &b[p * n..(p + 1) * n];
                     let b1 = &b[(p + 1) * n..(p + 2) * n];
                     let b2 = &b[(p + 2) * n..(p + 3) * n];
                     let b3 = &b[(p + 3) * n..(p + 4) * n];
-                    for (j, o) in o_row.iter_mut().enumerate() {
-                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                    }
+                    axpy4(o_row, a4, b0, b1, b2, b3);
                     p += 4;
                 }
                 while p < p1 {
                     let av = a_row[p];
                     if av != 0.0 {
-                        let b_row = &b[p * n..(p + 1) * n];
-                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
+                        axpy1(o_row, av, &b[p * n..(p + 1) * n]);
                     }
                     p += 1;
                 }
             }
         }
+    }
+}
+
+/// Register-tiled matmul for `k` within one cache block (every hot model
+/// shape). Replays the blocked kernel's exact per-element accumulation —
+/// `k` walked in increasing 4-wide groups with the identical left-to-right
+/// group expression, zero-skip only on the `k % 4` tail — but holds each
+/// [`crate::simd::LANES`]-wide output chunk in a stack accumulator across
+/// the **whole** `k` loop instead of loading/storing `o_row` once per
+/// group. Same additions in the same order ⇒ bit-identical to
+/// [`matmul_into`]'s blocked path on both feature builds; only the memory
+/// traffic changes (~2·k·n fewer row bytes moved per output row).
+fn matmul_small_k(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    const L: usize = crate::simd::LANES;
+    debug_assert!(k <= MATMUL_BLOCK);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 + L <= n {
+            let mut acc = [0.0f32; L];
+            let mut p = 0;
+            while p + 4 <= k {
+                let a4 = [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]];
+                let b0 = &b[p * n + j0..p * n + j0 + L];
+                let b1 = &b[(p + 1) * n + j0..(p + 1) * n + j0 + L];
+                let b2 = &b[(p + 2) * n + j0..(p + 2) * n + j0 + L];
+                let b3 = &b[(p + 3) * n + j0..(p + 3) * n + j0 + L];
+                for l in 0..L {
+                    acc[l] += a4[0] * b0[l] + a4[1] * b1[l] + a4[2] * b2[l] + a4[3] * b3[l];
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = a_row[p];
+                if av != 0.0 {
+                    let br = &b[p * n + j0..p * n + j0 + L];
+                    for l in 0..L {
+                        acc[l] += av * br[l];
+                    }
+                }
+                p += 1;
+            }
+            o_row[j0..j0 + L].copy_from_slice(&acc);
+            j0 += L;
+        }
+        // `n % LANES` columns: scalar accumulator, same k order per element.
+        for (j, o) in o_row.iter_mut().enumerate().skip(j0) {
+            let mut acc = 0.0f32;
+            let mut p = 0;
+            while p + 4 <= k {
+                acc += a_row[p] * b[p * n + j]
+                    + a_row[p + 1] * b[(p + 1) * n + j]
+                    + a_row[p + 2] * b[(p + 2) * n + j]
+                    + a_row[p + 3] * b[(p + 3) * n + j];
+                p += 4;
+            }
+            while p < k {
+                let av = a_row[p];
+                if av != 0.0 {
+                    acc += av * b[p * n + j];
+                }
+                p += 1;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Causal-prefix variant of [`matmul_small_k`] for the fused attention
+/// kernel: row `i` computes only the [`crate::simd::LANES`]-wide chunks
+/// whose start lies inside the causal prefix `0..=i` (plus in-prefix
+/// `n % LANES` remainder columns) and gathers the prefix max while each
+/// chunk is still in registers — roughly a third of the score GEMM's MACs
+/// never run. Every entry it **does** write uses the identical group
+/// expression and `k` order as [`matmul_small_k`], so computed entries are
+/// bit-identical to the full GEMM's; skipped entries hold stale buffer
+/// junk that the caller's softmax never reads into a sum (the padded exp
+/// map may transform them, but the masked-tail `fill(0.0)` overwrites the
+/// whole region before the kernel returns). `max` is a rounding-free
+/// reduction, so `row_prefix_max[i]` equals `max_fold(&row[..=i])` bit for
+/// bit.
+fn matmul_causal_small_k(
+    a: &[f32],
+    b: &[f32],
+    t: usize,
+    k: usize,
+    out: &mut [f32],
+    row_prefix_max: &mut [f32],
+) {
+    const L: usize = crate::simd::LANES;
+    debug_assert!(k <= MATMUL_BLOCK);
+    debug_assert!(row_prefix_max.len() >= t);
+    let n = t;
+    for i in 0..t {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let prefix = i + 1;
+        let mut rmax = f32::NEG_INFINITY;
+        let mut j0 = 0;
+        while j0 + L <= n && j0 < prefix {
+            let mut acc = [0.0f32; L];
+            let mut p = 0;
+            while p + 4 <= k {
+                let a4 = [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]];
+                let b0 = &b[p * n + j0..p * n + j0 + L];
+                let b1 = &b[(p + 1) * n + j0..(p + 1) * n + j0 + L];
+                let b2 = &b[(p + 2) * n + j0..(p + 2) * n + j0 + L];
+                let b3 = &b[(p + 3) * n + j0..(p + 3) * n + j0 + L];
+                for l in 0..L {
+                    acc[l] += a4[0] * b0[l] + a4[1] * b1[l] + a4[2] * b2[l] + a4[3] * b3[l];
+                }
+                p += 4;
+            }
+            while p < k {
+                let av = a_row[p];
+                if av != 0.0 {
+                    let br = &b[p * n + j0..p * n + j0 + L];
+                    for l in 0..L {
+                        acc[l] += av * br[l];
+                    }
+                }
+                p += 1;
+            }
+            // Lanes of this chunk inside the causal prefix (column ≤ i).
+            let live = prefix.saturating_sub(j0).min(L);
+            for &v in acc[..live].iter() {
+                rmax = rmax.max(v);
+            }
+            o_row[j0..j0 + L].copy_from_slice(&acc);
+            j0 += L;
+        }
+        // In-prefix `n % LANES` remainder columns: scalar accumulator,
+        // same `k` order per element. Empty when the chunk loop stopped at
+        // the prefix boundary rather than the column count.
+        for (j, o) in o_row.iter_mut().enumerate().skip(j0).take(prefix.saturating_sub(j0)) {
+            let mut acc = 0.0f32;
+            let mut p = 0;
+            while p + 4 <= k {
+                acc += a_row[p] * b[p * n + j]
+                    + a_row[p + 1] * b[(p + 1) * n + j]
+                    + a_row[p + 2] * b[(p + 2) * n + j]
+                    + a_row[p + 3] * b[(p + 3) * n + j];
+                p += 4;
+            }
+            while p < k {
+                let av = a_row[p];
+                if av != 0.0 {
+                    acc += av * b[p * n + j];
+                }
+                p += 1;
+            }
+            rmax = rmax.max(acc);
+            *o = acc;
+        }
+        row_prefix_max[i] = rmax;
     }
 }
 
@@ -184,15 +446,38 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], r: usize, m: usize, n: usize, out: &
             if av == 0.0 {
                 continue;
             }
-            let o_row = &mut out[q * n..(q + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            axpy1(&mut out[q * n..(q + 1) * n], av, b_row);
         }
     }
 }
 
+/// Multi-accumulator dot product of two equal-length slices. The `simd`
+/// build widens to [`crate::simd::LANES`] parallel accumulators (a different —
+/// but fixed and deterministic — reduction grouping than the 4-wide scalar
+/// fallback, which is why [`matmul_nt_into`] sits in the tolerance tier of
+/// the test wall rather than the bit-exact one).
+#[cfg(feature = "simd")]
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const L: usize = crate::simd::LANES;
+    let mut acc = [0.0f32; L];
+    let mut a_it = a.chunks_exact(L);
+    let mut b_it = b.chunks_exact(L);
+    for (ca, cb) in a_it.by_ref().zip(b_it.by_ref()) {
+        for l in 0..L {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in a_it.remainder().iter().zip(b_it.remainder()) {
+        tail += x * y;
+    }
+    acc.iter().sum::<f32>() + tail
+}
+
 /// 4-accumulator dot product of two equal-length slices.
+#[cfg(not(feature = "simd"))]
 #[inline]
 fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -349,16 +634,32 @@ pub fn matmul_strided_into(
 /// per-row [`crate::tensor::softmax_in_place`]:
 ///
 /// * the row max over the causal prefix equals the full-row max (masked
-///   entries are strictly smaller — asserted below);
+///   entries are strictly smaller — screened below);
 /// * masked entries satisfy `x - max ≤ -1e9 + 2·10⁸ ≪ -104`, so their
 ///   `exp` underflows to exactly `0.0`; trailing `+ 0.0` terms never change
 ///   the sum's bits, and `0.0 · inv == 0.0` reproduces their output.
 ///
-/// The kernel **asserts** (release builds included) that every scaled
-/// score has magnitude below `1e8` — orders of magnitude beyond anything
-/// the model produces — which makes the underflow guarantee unconditional
-/// for all inputs it accepts; the batch-parity proptests and golden
-/// fixtures pin the bit-identity on real model inputs.
+/// A lane-parallel *screen pass* over the **operands** dispatches between
+/// two implementations:
+///
+/// * **fast path** (`q`, `k` finite with `2·c·max|q|·max|k|·scale < 1e8`,
+///   a conservative bound every non-exploded model clears by orders of
+///   magnitude): the prefix-only softmax above, whose identity to the
+///   unfused pipeline follows from the underflow argument — and since the
+///   masked scores are provably irrelevant, the fused GEMM skips the
+///   strict upper triangle entirely (~a third of its MACs);
+/// * **slow path** (any `NaN`/`±inf` operand, or magnitudes that could
+///   keep a masked `exp` from underflowing): the kernel *materialises* the
+///   masked pipeline literally — full GEMM, scale, add the `{0, -1e9}`
+///   causal mask, run [`crate::tensor::softmax_in_place`] per row — so the
+///   bit-identity contract holds **unconditionally**, including degenerate
+///   rows mixing `NaN`/`±inf` with finite scores (proptest-pinned).
+///
+/// The screen replaces the release-mode magnitude `assert!` this kernel
+/// used to run per call on the hottest serving path: out-of-contract
+/// inputs now take the exact-but-slower path instead of panicking. Builds
+/// with the `paranoid` feature still panic, restoring the old tripwire
+/// for debugging numerically exploded models.
 ///
 /// `kt_scratch` is a caller-provided `t · c` workspace as in
 /// [`attention_scores_into`]; `q, k: [t, c]`, `out: [t, t]`.
@@ -380,55 +681,120 @@ pub fn attention_probs_causal_into(
         "attention_probs: scratch is {} not {c}x{t}",
         kt_scratch.len()
     );
-    // Full blocked GEMM for the raw scores (the axpy-style inner loops
-    // vectorise far better than per-element triangle dots, even counting
-    // the wasted upper half), then a causal softmax that only scales and
-    // exponentiates the live prefix of each row.
-    transpose_into(k, t, c, kt_scratch);
-    matmul_into(q, kt_scratch, t, c, t, out);
-    // Release-mode contract check, one cheap pass over the raw scores
-    // (~t² compares vs the GEMM's t²·c MACs): the bit-exactness argument
-    // needs every scaled score — masked region included — far below the
-    // 1e9 mask offset so the masked `exp`s underflow to exactly 0.0. A
-    // violation (a numerically exploded model) panics loudly instead of
-    // silently breaking batched-vs-per-request parity. NaN scores pass
-    // this fold (f32::max ignores NaN) and reach the per-row degenerate
-    // handling below.
-    let worst = out.iter().fold(0.0f32, |m, &x| m.max((x * scale).abs()));
+    // Per-row causal-prefix maxes, gathered inside the fused GEMM's store
+    // epilogue (register-resident, no extra pass). Stack-bounded; shapes
+    // beyond it take the unfused GEMM and recompute maxes per row below.
+    const RMAX_CAP: usize = 256;
+    let mut rmax_buf = [f32::NEG_INFINITY; RMAX_CAP];
+    let fused = c <= MATMUL_BLOCK && t <= RMAX_CAP;
+    // The *screen* that dispatches between the two implementations runs
+    // over the **operands**, not the computed scores: the prefix-only fast
+    // path is bit-identical to the masked pipeline only when every scaled
+    // score — masked region included — sits far below the 1e9 mask offset
+    // (so masked `exp`s underflow to exactly 0.0) and no score is
+    // NaN/±inf. Both follow from the operand bound: with `q` and `k`
+    // finite, `|score| ≤ c · max|q| · max|k|` in exact arithmetic, and the
+    // blocked accumulation's rounding inflates that by far less than the
+    // 2× margin below, so `2·c·max|q|·max|k|·scale < 1e8` implies every
+    // `|score·scale| < 1e8` with no overflow to ±inf along the way.
+    // Screening inputs (2·t·c elements) instead of scores (t² elements)
+    // is cheaper AND frees the fast-path GEMM from computing the masked
+    // upper triangle at all — ~a third of its MACs. The trade: magnitudes
+    // between the conservative bound and the true score maximum now take
+    // the slow path, which is bit-identical anyway (only exploded models
+    // get near either threshold).
+    //
+    // `poison` is NaN iff any operand is non-finite — a property no
+    // accumulation order can change; `worst` is an exact grouping-free
+    // `max` reduction.
+    let (worst_q, poison_q) = crate::simd::screen_abs_max(q, 1.0);
+    let (worst_k, poison_k) = crate::simd::screen_abs_max(k, 1.0);
+    let bound = 2.0 * (c as f32) * worst_q * worst_k * scale;
+    // `scale > 0.0` guards the max/scale commute in the fast path below
+    // (every real caller passes `1/√c`; a zero/negative/NaN scale takes
+    // the literal pipeline instead). A NaN/±inf anywhere makes `bound`
+    // NaN/±inf, which fails the `<` compare and lands in the slow path.
+    let in_contract = poison_q == 0.0 && poison_k == 0.0 && bound < 1e8 && scale > 0.0;
+    // The old release-mode tripwire for numerically exploded models,
+    // now opt-in: the dispatch below keeps parity without it.
+    #[cfg(feature = "paranoid")]
     assert!(
-        worst < 1e8,
-        "attention_probs_causal: score magnitude {worst} breaks the underflow/bit-parity contract"
+        in_contract,
+        "attention_probs_causal: operand magnitudes |q|≤{worst_q} |k|≤{worst_k} \
+         (poison {poison_q}/{poison_k}) outside the fast-path underflow contract"
     );
-    for r in 0..t {
-        let o_row = &mut out[r * t..(r + 1) * t];
-        let prefix = r + 1;
-        for x in o_row[..prefix].iter_mut() {
-            *x *= scale;
-        }
-        // Row max over the causal prefix == full-row max of the masked
-        // pipeline: masked entries there are `score - 1e9` with
-        // |score| < 1e8 (asserted above), strictly below any unmasked
-        // entry.
-        let max = o_row[..prefix].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        if !max.is_finite() {
-            // Degenerate row (all-NaN scores): match softmax_in_place's
-            // fully-masked fallback over the whole row.
-            let u = 1.0 / t as f32;
-            for x in o_row.iter_mut() {
-                *x = u;
+    transpose_into(k, t, c, kt_scratch);
+    if in_contract && fused {
+        matmul_causal_small_k(q, kt_scratch, t, c, out, &mut rmax_buf);
+    } else {
+        matmul_into(q, kt_scratch, t, c, t, out);
+    }
+    if in_contract {
+        for r in 0..t {
+            let o_row = &mut out[r * t..(r + 1) * t];
+            let prefix = r + 1;
+            // Row max over the causal prefix == full-row max of the
+            // masked pipeline: masked entries there are `score - 1e9`
+            // with |score| < 1e8 (screened above), strictly below any
+            // unmasked entry. Finite because the screen passed.
+            //
+            // The max is taken over the RAW prefix and scaled once:
+            // rounding is monotone and `scale > 0` (screened), so
+            // `max_j round(x_j·s) == round((max_j x_j)·s)` — the same bits
+            // the unfused pipeline gets from scaling first. That lets the
+            // scale ride inside the exp map below (`round(x·s)` then
+            // subtract: the identical two rounding steps, Rust never
+            // contracts them into an FMA) instead of a separate pass. The
+            // fused GEMM already collected the raw prefix max per row.
+            let max =
+                if fused { rmax_buf[r] } else { crate::simd::max_fold(&o_row[..prefix]) } * scale;
+            // Exponentiate as a standalone map (lets the polynomial
+            // `exp_f32` vectorise), zero the masked tail, then reduce the
+            // FULL row through `simd::sum_fold`. The unfused pipeline's
+            // masked entries underflow to exact `+0.0` (screened scores
+            // make `score·scale - 1e9` sail past the flush threshold) and
+            // its `softmax_in_place` sums the whole t-length row through
+            // the same `sum_fold` — identical bit vector, identical
+            // grouping, identical sum. The tail must be zeroed *before*
+            // the reduce for that to hold.
+            //
+            // The map runs over a LANES-padded prefix so no row pays a
+            // scalar epilogue: the pad entries are raw scores the causal
+            // GEMM computed past the diagonal (or, past its last chunk,
+            // stale buffer junk — possibly NaN); their exp is garbage that
+            // the tail fill overwrites before anything reads it.
+            let padded = ((prefix + crate::simd::LANES - 1) & !(crate::simd::LANES - 1)).min(t);
+            for x in o_row[..padded].iter_mut() {
+                *x = exp_f32(*x * scale - max);
             }
-            continue;
+            o_row[prefix..].fill(0.0);
+            let sum = crate::simd::sum_fold(o_row);
+            // `sum >= exp(0) = 1` (the max element maps to exactly 1.0), so
+            // `inv` is finite and the zero tail stays exact `+0.0` — the
+            // same bits the unfused pipeline's normalise pass produces.
+            let inv = 1.0 / sum;
+            for x in o_row[..prefix].iter_mut() {
+                *x *= inv;
+            }
         }
-        let mut sum = 0.0;
-        for x in o_row[..prefix].iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
+    } else {
+        // Out-of-contract scores (non-finite, or huge enough that a
+        // masked exp might not underflow): run the unfused pipeline
+        // verbatim — scale + additive causal mask exactly as
+        // [`attention_scores_into`] applies them, then the shared row
+        // softmax — so the bit-identity contract holds by construction
+        // on *every* input, degenerate rows included.
+        for r in 0..t {
+            let o_row = &mut out[r * t..(r + 1) * t];
+            let prefix = r + 1;
+            for x in o_row[..prefix].iter_mut() {
+                *x = *x * scale + 0.0;
+            }
+            for x in o_row[prefix..].iter_mut() {
+                *x = *x * scale + -1e9;
+            }
+            crate::tensor::softmax_in_place(o_row);
         }
-        let inv = 1.0 / sum;
-        for x in o_row[..prefix].iter_mut() {
-            *x *= inv;
-        }
-        o_row[prefix..].fill(0.0);
     }
 }
 
@@ -455,43 +821,64 @@ pub fn matmul_tri_lower_into(a: &[f32], b: &[f32], t: usize, n: usize, out: &mut
         }
     }
     out.fill(0.0);
+    const L: usize = crate::simd::LANES;
     for i in 0..t {
         let a_row = &a[i * t..(i + 1) * t];
         let o_row = &mut out[i * n..(i + 1) * n];
-        // Live prefix of row i is 0..=i; process every 4-wide group the
-        // blocked kernel would, but stop after the last group touching it.
-        for p0 in (0..t).step_by(MATMUL_BLOCK) {
-            if p0 > i {
-                break;
-            }
-            let p1 = (p0 + MATMUL_BLOCK).min(t);
-            let mut p = p0;
-            while p + 4 <= p1 {
-                if p > i {
-                    break;
-                }
-                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-                let b0 = &b[p * n..(p + 1) * n];
-                let b1 = &b[(p + 1) * n..(p + 2) * n];
-                let b2 = &b[(p + 2) * n..(p + 3) * n];
-                let b3 = &b[(p + 3) * n..(p + 4) * n];
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        // Live prefix of row i is 0..=i. Group region: every 4-wide group
+        // the blocked kernel would touch — start ≤ i AND fully inside t.
+        // Entries past the diagonal inside the last group are exact zeros
+        // and ride through the group expression as `+ 0·b`, exactly as the
+        // blocked kernel computes them.
+        let g_end = ((i / 4) * 4 + 4).min(t & !3);
+        // Tail region (`t % 4` entries, or a diagonal group that no longer
+        // fits a full 4): the blocked kernel zero-skips these; beyond the
+        // diagonal they are all zero, so the scan stops at `i`.
+        let tail_end = (i + 1).min(t);
+        // Register-tiled chunks, as in [`matmul_small_k`]: identical group
+        // expression and k order, accumulator lives on the stack.
+        let mut j0 = 0;
+        while j0 + L <= n {
+            let mut acc = [0.0f32; L];
+            let mut p = 0;
+            while p < g_end {
+                let a4 = [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]];
+                let b0 = &b[p * n + j0..p * n + j0 + L];
+                let b1 = &b[(p + 1) * n + j0..(p + 1) * n + j0 + L];
+                let b2 = &b[(p + 2) * n + j0..(p + 2) * n + j0 + L];
+                let b3 = &b[(p + 3) * n + j0..(p + 3) * n + j0 + L];
+                for l in 0..L {
+                    acc[l] += a4[0] * b0[l] + a4[1] * b1[l] + a4[2] * b2[l] + a4[3] * b3[l];
                 }
                 p += 4;
             }
-            // Tail of the block (t % 4 entries), zero-skipped exactly like
-            // the blocked kernel's remainder loop.
-            while p < p1 {
-                let av = a_row[p];
+            for (p, &av) in a_row.iter().enumerate().take(tail_end).skip(g_end) {
                 if av != 0.0 {
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
+                    let br = &b[p * n + j0..p * n + j0 + L];
+                    for l in 0..L {
+                        acc[l] += av * br[l];
                     }
                 }
-                p += 1;
             }
+            o_row[j0..j0 + L].copy_from_slice(&acc);
+            j0 += L;
+        }
+        for (j, o) in o_row.iter_mut().enumerate().skip(j0) {
+            let mut acc = 0.0f32;
+            let mut p = 0;
+            while p < g_end {
+                acc += a_row[p] * b[p * n + j]
+                    + a_row[p + 1] * b[(p + 1) * n + j]
+                    + a_row[p + 2] * b[(p + 2) * n + j]
+                    + a_row[p + 3] * b[(p + 3) * n + j];
+                p += 4;
+            }
+            for (p, &av) in a_row.iter().enumerate().take(tail_end).skip(g_end) {
+                if av != 0.0 {
+                    acc += av * b[p * n + j];
+                }
+            }
+            *o = acc;
         }
     }
 }
@@ -552,10 +939,7 @@ pub fn conv1d_fused_into(
                 if xv == 0.0 {
                     continue;
                 }
-                let w_row = &w_tap[i * c_out..(i + 1) * c_out];
-                for (o, &wv) in o_row.iter_mut().zip(w_row) {
-                    *o += xv * wv;
-                }
+                axpy1(o_row, xv, &w_tap[i * c_out..(i + 1) * c_out]);
             }
         }
         match bias {
@@ -651,6 +1035,32 @@ mod tests {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((x - y).abs() < tol + 1e-4 * y.abs(), "{what}[{i}]: {x} vs {y}");
         }
+    }
+
+    /// MASKED-EXP UNDERFLOW CONTRACT — the bit-exactness of the fused
+    /// causal softmax rests on `exp_f32(x) == 0.0` **exactly** for every
+    /// masked score `x ≤ -1e9 + 2·10⁸`: a masked entry contributes
+    /// `+ 0.0` to the row sum and renormalises to `0.0 · inv == 0.0`.
+    /// Both transcendental selections (libm `exp` on the scalar build,
+    /// the polynomial on the simd build) must honour it.
+    #[test]
+    fn masked_exp_underflows_to_exact_zero() {
+        // The worst-case masked argument the screen admits (score 1e8,
+        // mask -1e9, max +1e8) and progressively deeper ones. Values in
+        // the subnormal window (-87.3 … -104) are deliberately NOT pinned:
+        // libm `exp` returns subnormals there while the polynomial
+        // flushes — both are well below any masked argument.
+        for x in [-8e8f32, -1e9, -1e9 - 2e8, -1e4, -200.0] {
+            assert_eq!(
+                exp_f32(x).to_bits(),
+                0.0f32.to_bits(),
+                "exp_f32({x}) must underflow to exactly +0.0"
+            );
+        }
+        // Sanity on the live side of the cliff: normal arguments stay
+        // positive, so real attention weights never collapse.
+        assert!(exp_f32(-80.0) > 0.0);
+        assert_eq!(exp_f32(0.0), 1.0);
     }
 
     /// Blocked matmul matches the naive reference at shapes straddling the

@@ -42,6 +42,7 @@ pub mod autodiff;
 pub mod kernels;
 pub mod linalg;
 pub mod pool;
+pub mod simd;
 pub mod tensor;
 
 pub use autodiff::{Graph, VarId};

@@ -1,0 +1,318 @@
+//! Lane-oriented vector math for the `simd` feature.
+//!
+//! The workspace denies `unsafe_code`, so there are no intrinsics here.
+//! Instead every routine is written in the *lane-array* style — fixed-size
+//! `[f32; LANES]` blocks walked with branch-free, data-independent
+//! per-lane statements — which LLVM's auto-vectorizer reliably lowers to
+//! packed SSE2 instructions on the x86-64 baseline (and wider vectors when
+//! the target enables them). The payoff over the plain scalar loops is not
+//! "it vectorises at all" (simple folds already do) but:
+//!
+//! * **parallel accumulators** break serial dependency chains (a scalar
+//!   `fold(max)` is one `maxss` per element, ~4 cycles of latency each;
+//!   eight lane accumulators retire eight elements per `maxps`);
+//! * **polynomial transcendentals** ([`exp_approx`], [`tanh_approx`])
+//!   replace per-element libm calls — the single biggest cost in the
+//!   causal-softmax hot path — with straight-line FP code that vectorises
+//!   across a whole row.
+//!
+//! ## Determinism contract
+//!
+//! Every function here is a **pure per-element map** (or an order-exact
+//! reduction): the result for a given input value never depends on its
+//! position, the slice length, or lane grouping. Rust performs no implicit
+//! FP contraction, so the polynomial evaluates identically on every build
+//! with the `simd` feature on. That is what keeps the kernel-level parity
+//! contracts (batched == looped, fused == unfused) *bit-exact within a
+//! build*: swapping libm `exp` for [`exp_approx`] moves the goldens to the
+//! tolerance tier, but cannot desynchronise two code paths that both call
+//! it.
+//!
+//! Accuracy: [`exp_approx`] is the Cephes `expf` polynomial (max observed
+//! error ≲ 2 ulp over the normal range); [`tanh_approx`] is the standard
+//! float rational approximation (≲ a few ulp on `[-9, 9]`, exact ±1
+//! saturation outside). Outputs that would be f32 *subnormals* flush to
+//! zero — in particular `exp_approx(x) == 0.0` exactly for every
+//! `x < -87.34`, which is what the masked-softmax underflow contract in
+//! [`crate::kernels::attention_probs_causal_into`] relies on.
+
+/// Lane count the helpers block on. Eight `f32`s = two SSE2 registers (or
+/// one AVX register); small enough that remainders stay cheap at the
+/// paper's model shapes (rows of 8–64).
+pub const LANES: usize = 8;
+
+/// Polynomial `e^x` for `f32` (Cephes `expf` scheme, safe scalar code that
+/// auto-vectorises): `x = n·ln2 + r` with `|r| ≤ ln2/2`, a degree-5
+/// minimax polynomial for `e^r`, and an exponent-field rebuild for `2^n`.
+///
+/// Properties the kernels rely on:
+/// * pure function of the value — no positional/lane dependence;
+/// * `exp_approx(x) == 0.0` exactly for `x < -87.34` (subnormal flush);
+/// * `+inf` for `x > 88.0`, `NaN` in → `NaN` out.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    // Cody–Waite split of ln2: HI has only 10 mantissa bits set, so
+    // `n * LN2_HI` is exact for |n| < 2^13 and the reduction loses no bits.
+    const LN2_HI: f32 = 0.693_359_4;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // 1.5 · 2^23: adding it forces round-to-nearest-even of a small float
+    // into the low mantissa bits — a vectorisable `round()` on bare SSE2,
+    // which has no packed round instruction.
+    const MAGIC: f32 = 12_582_912.0;
+    // Below this, e^x is subnormal (flushed to exactly 0.0); above 88.0 it
+    // overflows (+inf). The clamped value feeds the polynomial; the
+    // out-of-range selects are applied at the end.
+    const X_MIN: f32 = -87.336_55;
+    const X_MAX: f32 = 88.0;
+
+    let xc = x.clamp(X_MIN, X_MAX);
+    let m = xc * LOG2E + MAGIC;
+    // Two's-complement n recovered from the magic float's mantissa field.
+    let n_i = (m.to_bits() as i32).wrapping_sub(0x4B40_0000);
+    let n_f = m - MAGIC;
+    let r = (xc - n_f * LN2_HI) - n_f * LN2_LO;
+    // Cephes minimax polynomial for e^r on [-ln2/2, ln2/2].
+    let mut p = 1.987_569_2e-4f32;
+    p = p * r + 1.398_2e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_6e-1;
+    p = p * r + 5e-1;
+    let poly = (p * r * r + r) + 1.0;
+    // 2^n via the exponent field; the clamp guarantees n ∈ [-126, 127].
+    let scale = f32::from_bits(((n_i + 127) as u32) << 23);
+    let y = poly * scale;
+    // Range selects compile to compare + blend. NaN fails both compares
+    // and propagates through `y`.
+    if x < X_MIN {
+        0.0
+    } else if x > X_MAX {
+        f32::INFINITY
+    } else {
+        y
+    }
+}
+
+/// Rational `tanh` approximation for `f32` (the classic float minimax
+/// `x·P(x²)/Q(x²)` on `[-9, 9]` with hard ±1 saturation outside). Pure
+/// per-element function; `NaN` in → `NaN` out.
+#[inline]
+pub fn tanh_approx(x: f32) -> f32 {
+    // The rational fit is valid on |x| ≤ 8; beyond it tanh is ±1 to f32.
+    const SAT: f32 = 7.998_811_2;
+    let xc = x.clamp(-SAT, SAT);
+    let x2 = xc * xc;
+    let mut p = -2.760_768_4e-16f32;
+    p = p * x2 + 2.000_188e-13;
+    p = p * x2 - 8.604_672e-11;
+    p = p * x2 + 5.122_297e-8;
+    p = p * x2 + 1.485_722_4e-5;
+    p = p * x2 + 6.372_619_3e-4;
+    p = p * x2 + 4.893_524_6e-3;
+    let p = p * xc;
+    let mut q = 1.198_258_4e-6f32;
+    q = q * x2 + 1.185_347_1e-4;
+    q = q * x2 + 2.268_434_6e-3;
+    q = q * x2 + 4.893_525e-3;
+    let y = p / q;
+    // Hard ±1 saturation outside the fitted range; NaN fails the compare
+    // and falls through to `y`, which is NaN (the clamp propagated it).
+    if x.abs() >= SAT {
+        1.0f32.copysign(x)
+    } else {
+        y
+    }
+}
+
+/// Max of `|x · scale|` over a slice with [`LANES`] parallel accumulators,
+/// plus a "poison" sum of `x · 0.0` that is `NaN` **iff** the slice holds
+/// any non-finite value (±inf·0 and NaN·0 are both NaN). One pass, fully
+/// vectorisable; `max` is an exact (rounding-free) reduction, so the lane
+/// grouping cannot change the result vs a serial fold.
+#[inline]
+pub fn screen_abs_max(xs: &[f32], scale: f32) -> (f32, f32) {
+    let mut acc = [0.0f32; LANES];
+    let mut poison = [0.0f32; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        for l in 0..LANES {
+            acc[l] = acc[l].max((ch[l] * scale).abs());
+            poison[l] += ch[l] * 0.0;
+        }
+    }
+    let (mut m, mut p) = (0.0f32, 0.0f32);
+    for l in 0..LANES {
+        m = m.max(acc[l]);
+        p += poison[l];
+    }
+    for &x in chunks.remainder() {
+        m = m.max((x * scale).abs());
+        p += x * 0.0;
+    }
+    (m, p)
+}
+
+/// Sum with a fixed, documented grouping: [`LANES`] parallel accumulators
+/// over the full chunks, a pairwise tree over the lanes
+/// (`((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7))`), then the remainder folded in
+/// serially. The parallel accumulators break the one-add-per-4-cycles
+/// serial dependency chain and the tree keeps the horizontal reduce at
+/// depth 3 instead of 7.
+///
+/// Deterministic on every build and for every slice length, but — unlike
+/// [`max_fold`] — **not** bit-equal to a serial fold once `len >= LANES`
+/// (float addition rounds, so grouping matters). Callers that promise
+/// bit-parity with *each other* must therefore all reduce through this one
+/// function: `softmax_in_place` and the fused causal kernel's fast path
+/// both do, which is what keeps fused == unfused exact. For `len < LANES`
+/// the accumulators stay zero and the remainder fold reproduces the serial
+/// sum bit-for-bit.
+#[inline]
+pub fn sum_fold(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        for l in 0..LANES {
+            acc[l] += ch[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for &x in chunks.remainder() {
+        s += x;
+    }
+    s
+}
+
+/// Max fold with [`LANES`] parallel accumulators. Bit-identical to
+/// `iter().fold(f32::NEG_INFINITY, f32::max)` for every input: float `max`
+/// is associative and commutative, and `f32::max` ignores `NaN` on either
+/// side in any grouping.
+#[inline]
+pub fn max_fold(xs: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for ch in chunks.by_ref() {
+        for l in 0..LANES {
+            acc[l] = acc[l].max(ch[l]);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for l in 0..LANES {
+        m = m.max(acc[l]);
+    }
+    for &x in chunks.remainder() {
+        m = m.max(x);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_accuracy_over_normal_range() {
+        // Sweep the range the model exercises; require ≤ 4e-7 relative
+        // error (a couple of ulp).
+        let mut worst = 0.0f64;
+        let mut x = -87.0f32;
+        while x < 88.0 {
+            let got = exp_approx(x) as f64;
+            let want = (x as f64).exp();
+            let rel = ((got - want) / want).abs();
+            worst = worst.max(rel);
+            x += 0.037;
+        }
+        assert!(worst < 4e-7, "exp_approx worst relative error {worst}");
+    }
+
+    #[test]
+    fn exp_underflow_overflow_and_nan_edges() {
+        // The masked-softmax contract: deep-negative arguments are exact 0.
+        assert_eq!(exp_approx(-88.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exp_approx(-104.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exp_approx(-1e9).to_bits(), 0.0f32.to_bits());
+        assert_eq!(exp_approx(f32::NEG_INFINITY).to_bits(), 0.0f32.to_bits());
+        assert!(exp_approx(-87.0) > 0.0);
+        assert_eq!(exp_approx(0.0), 1.0);
+        assert_eq!(exp_approx(89.0), f32::INFINITY);
+        assert_eq!(exp_approx(f32::INFINITY), f32::INFINITY);
+        assert!(exp_approx(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn tanh_accuracy_and_edges() {
+        let mut x = -9.5f32;
+        while x < 9.5 {
+            let got = tanh_approx(x) as f64;
+            let want = (x as f64).tanh();
+            assert!(
+                (got - want).abs() < 1e-6 + 1e-6 * want.abs(),
+                "tanh_approx({x}) = {got} vs {want}"
+            );
+            x += 0.013;
+        }
+        assert_eq!(tanh_approx(20.0), 1.0);
+        assert_eq!(tanh_approx(-20.0), -1.0);
+        assert_eq!(tanh_approx(0.0), 0.0);
+        assert!(tanh_approx(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn screen_detects_magnitude_and_poison() {
+        let clean = [1.0f32, -2.0, 3.5, 0.0, -0.5, 2.0, 1.0, -1.0, 4.0];
+        let (m, p) = screen_abs_max(&clean, 2.0);
+        assert_eq!(m, 8.0);
+        assert_eq!(p, 0.0);
+        let with_nan = [1.0f32, f32::NAN, 2.0];
+        assert!(screen_abs_max(&with_nan, 1.0).1.is_nan());
+        let with_inf = [1.0f32, f32::INFINITY, 2.0];
+        let (m, p) = screen_abs_max(&with_inf, 1.0);
+        assert!(m.is_infinite());
+        assert!(p.is_nan());
+        let neg_inf = [f32::NEG_INFINITY; 3];
+        assert!(screen_abs_max(&neg_inf, 1.0).1.is_nan());
+    }
+
+    #[test]
+    fn sum_fold_grouping_is_pinned() {
+        // Short slices reproduce the serial sum bit-for-bit.
+        let short = [0.125f32, 3.0, -1.5, 0.75, 2.0];
+        let serial: f32 = short.iter().sum();
+        assert_eq!(sum_fold(&short).to_bits(), serial.to_bits());
+        assert_eq!(sum_fold(&[]), 0.0);
+
+        // At len >= LANES the grouping is the documented lane tree; pin it
+        // against a hand-evaluated reference so a refactor cannot silently
+        // change the reduction order both parity parties depend on.
+        let xs: Vec<f32> = (0..19).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut acc = [0.0f32; LANES];
+        for ch in xs.chunks_exact(LANES) {
+            for l in 0..LANES {
+                acc[l] += ch[l];
+            }
+        }
+        let mut want =
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        for &x in &xs[16..] {
+            want += x;
+        }
+        assert_eq!(sum_fold(&xs).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn max_fold_matches_serial_fold() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![3.0],
+            vec![1.0, 2.0, -5.0, 4.0, 0.0, -1.0, 7.0, 2.0, 3.0, -9.0],
+            vec![f32::NAN; 4],
+            vec![f32::NAN, 1.0, f32::NEG_INFINITY, 2.5],
+        ];
+        for c in cases {
+            let serial = c.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(max_fold(&c).to_bits(), serial.to_bits(), "case {c:?}");
+        }
+    }
+}

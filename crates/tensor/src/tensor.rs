@@ -324,8 +324,17 @@ impl Tensor {
 }
 
 /// In-place numerically stable softmax over a slice.
+///
+/// The max fold runs lane-parallel ([`crate::simd::max_fold`], bit-identical
+/// to a serial fold on every input); `exp` goes through the
+/// [`crate::kernels::exp_f32`] selector so this routine and the fused
+/// causal kernel agree bit-for-bit on both the scalar and `simd` builds.
+/// The accumulate pass reduces through [`crate::simd::sum_fold`], whose
+/// fixed lane grouping is part of the fused-vs-unfused bit-identity
+/// contract: the fused causal kernel sums its (zero-padded) probability
+/// rows through the same function, so both paths round identically.
 pub fn softmax_in_place(row: &mut [f32]) {
-    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = crate::simd::max_fold(row);
     if !max.is_finite() {
         // A fully-masked row: fall back to uniform so downstream stays finite.
         let u = 1.0 / row.len() as f32;
@@ -334,11 +343,15 @@ pub fn softmax_in_place(row: &mut [f32]) {
         }
         return;
     }
-    let mut sum = 0.0;
+    // Exponentiate in a standalone map pass (pure per-element, so the
+    // polynomial `exp_f32` vectorises across the row), THEN accumulate.
     for x in row.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
+        *x = crate::kernels::exp_f32(*x - max);
     }
+    // The accumulate pass uses the one pinned lane grouping shared with the
+    // fused causal kernel (see `simd::sum_fold`) — never an ad-hoc fold,
+    // or fused-vs-unfused bit identity breaks.
+    let sum = crate::simd::sum_fold(row);
     let inv = 1.0 / sum;
     for x in row.iter_mut() {
         *x *= inv;

@@ -315,6 +315,106 @@ proptest! {
         prop_assert_eq!(&tri, &full, "tri matmul diverged at t={} n={}", t, n);
     }
 
+    /// KERNEL PARITY — block-boundary tails and degenerate operands: the
+    /// blocked matmul matches the naive reference, and the batched/strided
+    /// entry points stay **bit-identical** to looped blocked calls, on
+    /// 1×k and k×1 operands and shapes straddling [`MATMUL_BLOCK`] on
+    /// every axis. Runs on both feature builds (the scalar fallback and
+    /// the simd lane path) via the CI matrix.
+    #[test]
+    fn matmul_parity_tail_and_degenerate_shapes(
+        mi in 0usize..6,
+        ki in 0usize..8,
+        ni in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Deliberate boundary values: 1 (degenerate row/col vectors),
+        // MATMUL_BLOCK ± 1 (block tails), 2·MATMUL_BLOCK ± 1.
+        let m = [1, 2, 3, 5, MATMUL_BLOCK - 1, MATMUL_BLOCK + 1][mi];
+        let k = [1, 2, 3, MATMUL_BLOCK - 1, MATMUL_BLOCK, MATMUL_BLOCK + 1,
+                 2 * MATMUL_BLOCK - 1, 2 * MATMUL_BLOCK + 1][ki];
+        let n = [1, 2, 5, MATMUL_BLOCK - 1, MATMUL_BLOCK, MATMUL_BLOCK + 1][ni];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+        let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+        let mut naive = vec![0.0f32; m * n];
+        matmul_naive_into(a.data(), b.data(), m, k, n, &mut naive);
+        let mut blocked = vec![0.0f32; m * n];
+        matmul_into(a.data(), b.data(), m, k, n, &mut blocked);
+        for (i, (x, y)) in blocked.iter().zip(&naive).enumerate() {
+            prop_assert!(
+                (x - y).abs() < 1e-3 + 1e-4 * y.abs() * (k as f32).sqrt(),
+                "matmul {m}x{k}x{n} elem {i}: blocked {x} vs naive {y}"
+            );
+        }
+        // Batched with the same member shape must reproduce the blocked
+        // bits exactly, tails included.
+        let bt = 2usize;
+        let a2 = Tensor::randn(vec![bt, m, k], 1.0, &mut rng);
+        let mut batched = vec![0.0f32; bt * m * n];
+        matmul_batched_into(a2.data(), b.data(), bt, m, k, n, &mut batched);
+        let mut looped = vec![0.0f32; bt * m * n];
+        for i in 0..bt {
+            matmul_into(
+                &a2.data()[i * m * k..(i + 1) * m * k],
+                b.data(),
+                m, k, n,
+                &mut looped[i * m * n..(i + 1) * m * n],
+            );
+        }
+        prop_assert_eq!(&batched, &looped, "batched tail-shape {}x{}x{} diverged", m, k, n);
+    }
+
+    /// DEGENERATE-INPUT PARITY — the fused causal-probability kernel must
+    /// stay **bit-identical** to the unfused pipeline even when the scores
+    /// contain `NaN`/`±inf` mixed with finite values (an exploded model
+    /// must degrade identically on both paths, not panic). Poison values
+    /// are injected into `q`/`k` at pseudorandom positions; comparison is
+    /// on raw bit patterns because `NaN != NaN`.
+    #[test]
+    fn causal_probs_bit_identical_on_degenerate_inputs(
+        t in 1usize..12,
+        c in 1usize..8,
+        n_poison in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q = Tensor::randn(vec![t, c], 1.0, &mut rng);
+        let mut k = Tensor::randn(vec![t, c], 1.0, &mut rng);
+        // Inject NaN / +inf / -inf / huge finite values — huge ones land in
+        // the "finite but outside the underflow contract" screen branch.
+        const POISON: [f32; 4] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e30];
+        for i in 0..n_poison {
+            let h = seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64 * 0x85EB_CA6B);
+            let pos = (h as usize) % (t * c);
+            let val = POISON[(h >> 32) as usize % POISON.len()];
+            if i % 2 == 0 {
+                q.data_mut()[pos] = val;
+            } else {
+                k.data_mut()[pos] = val;
+            }
+        }
+        let mut mask = vec![0.0f32; t * t];
+        for i in 0..t {
+            for j in (i + 1)..t {
+                mask[i * t + j] = -1e9;
+            }
+        }
+        let scale = 1.0 / (c as f32).sqrt();
+        let mut scratch = vec![0.0f32; t * c];
+        let mut want = vec![0.0f32; t * t];
+        attention_scores_into(q.data(), k.data(), t, t, c, scale, Some(&mask), &mut scratch, &mut want);
+        for row in want.chunks_mut(t) {
+            softmax_in_place(row);
+        }
+        let mut got = vec![0.0f32; t * t];
+        attention_probs_causal_into(q.data(), k.data(), t, c, scale, &mut scratch, &mut got);
+        let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(&got_bits, &want_bits,
+            "degenerate causal probs diverged at t={} c={} poison={}", t, c, n_poison);
+    }
+
     /// Matmul distributes over addition: (A+B)C = AC + BC.
     #[test]
     fn matmul_distributive(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
