@@ -45,11 +45,35 @@ pub enum ProjSlot {
 /// One node's cached projections, filled lazily per slot.
 type ProjEntry = [Option<Tensor>; 5];
 
+/// Nodes per copy-on-write cache segment (see [`EmbedCache`]): contiguous
+/// node-id ranges `[k·64, (k+1)·64)` share one `Arc`'d chunk, so an
+/// incremental republish re-allocates only the chunks a dirty node lands in.
+pub const SEGMENT_NODES: usize = 64;
+
+/// One shared chunk of [`SEGMENT_NODES`] consecutive nodes: their embedding
+/// values and layer-0 projection entries together, so an epoch either owns
+/// a segment's storage or shares all of it with the previous epoch.
+#[derive(Clone, Debug)]
+struct Segment {
+    embeds: Vec<Option<Tensor>>,
+    projs: Vec<Option<ProjEntry>>,
+}
+
+impl Default for Segment {
+    fn default() -> Self {
+        Self { embeds: vec![None; SEGMENT_NODES], projs: vec![None; SEGMENT_NODES] }
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct EmbedCache {
-    shared: Option<std::sync::Arc<std::collections::HashMap<usize, Tensor>>>,
+    /// Shared base, segmented: index `k` covers nodes
+    /// `[k·SEGMENT_NODES, (k+1)·SEGMENT_NODES)`. Cloning is a vector of
+    /// `Arc` bumps; [`EmbedCache::into_shared`] rebuilds only segments the
+    /// local overlay touched, leaving every clean segment's `Arc` (and thus
+    /// its heap storage) shared with the previous epoch.
+    shared: Vec<Option<std::sync::Arc<Segment>>>,
     local: std::collections::HashMap<usize, Tensor>,
-    proj_shared: Option<std::sync::Arc<std::collections::HashMap<usize, ProjEntry>>>,
     proj_local: std::collections::HashMap<usize, ProjEntry>,
 }
 
@@ -59,9 +83,39 @@ impl EmbedCache {
         Self::default()
     }
 
+    /// Segment index covering `node`.
+    pub fn segment_of(node: usize) -> usize {
+        node / SEGMENT_NODES
+    }
+
+    /// Number of shared segment slots (the highest frozen node's segment
+    /// plus one; local-only entries don't count until frozen).
+    pub fn segment_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Stable address of shared segment `seg`'s storage, if populated.
+    /// Two epochs returning the same address for a segment **share** that
+    /// segment's heap allocation — the observable the zero-alloc
+    /// copy-on-write tests pin.
+    pub fn segment_addr(&self, seg: usize) -> Option<usize> {
+        self.shared
+            .get(seg)
+            .and_then(|s| s.as_ref())
+            .map(|arc| std::sync::Arc::as_ptr(arc) as usize)
+    }
+
+    fn shared_embed(&self, node: usize) -> Option<&Tensor> {
+        self.shared.get(Self::segment_of(node))?.as_ref()?.embeds[node % SEGMENT_NODES].as_ref()
+    }
+
+    fn shared_proj(&self, node: usize) -> Option<&ProjEntry> {
+        self.shared.get(Self::segment_of(node))?.as_ref()?.projs[node % SEGMENT_NODES].as_ref()
+    }
+
     /// Cached embedding value for `node`, if present.
     pub fn get(&self, node: usize) -> Option<&Tensor> {
-        self.local.get(&node).or_else(|| self.shared.as_ref().and_then(|s| s.get(&node)))
+        self.local.get(&node).or_else(|| self.shared_embed(node))
     }
 
     /// Store `node`'s embedding value (goes to the local overlay).
@@ -71,10 +125,13 @@ impl EmbedCache {
 
     /// Number of cached nodes (shared and local combined).
     pub fn len(&self) -> usize {
-        let shared = self.shared.as_deref();
-        let shared_len = shared.map_or(0, |s| s.len());
-        let overlay_only =
-            self.local.keys().filter(|k| !shared.is_some_and(|s| s.contains_key(k))).count();
+        let shared_len: usize = self
+            .shared
+            .iter()
+            .flatten()
+            .map(|seg| seg.embeds.iter().filter(|e| e.is_some()).count())
+            .sum();
+        let overlay_only = self.local.keys().filter(|&&k| self.shared_embed(k).is_none()).count();
         shared_len + overlay_only
     }
 
@@ -87,9 +144,8 @@ impl EmbedCache {
     /// (required after a parameter or dataset change — projections are
     /// functions of the same parameters the embeddings are).
     pub fn clear(&mut self) {
-        self.shared = None;
+        self.shared.clear();
         self.local.clear();
-        self.proj_shared = None;
         self.proj_local.clear();
     }
 
@@ -101,7 +157,7 @@ impl EmbedCache {
         self.proj_local
             .get(&node)
             .and_then(|e| e[i].as_ref())
-            .or_else(|| self.proj_shared.as_ref()?.get(&node)?[i].as_ref())
+            .or_else(|| self.shared_proj(node)?[i].as_ref())
     }
 
     /// Store layer-0 projection `slot` of `node` (local overlay). The
@@ -114,32 +170,65 @@ impl EmbedCache {
 
     /// Number of nodes with at least one cached projection slot.
     pub fn cached_projections(&self) -> usize {
-        let shared = self.proj_shared.as_deref();
-        let shared_len = shared.map_or(0, |s| s.len());
+        let shared_len: usize = self
+            .shared
+            .iter()
+            .flatten()
+            .map(|seg| seg.projs.iter().filter(|e| e.is_some()).count())
+            .sum();
         let overlay_only =
-            self.proj_local.keys().filter(|k| !shared.is_some_and(|s| s.contains_key(k))).count();
+            self.proj_local.keys().filter(|&&k| self.shared_proj(k).is_none()).count();
         shared_len + overlay_only
     }
 
-    /// Freeze this cache into its cheaply cloneable shared form: all
-    /// entries move behind one `Arc`, so clones share the tensor storage.
+    /// Freeze this cache into its cheaply cloneable shared form with
+    /// **copy-on-write** segment granularity: only segments the local
+    /// overlay touched are rebuilt (shared chunk cloned, overlay merged in,
+    /// new `Arc`); every untouched segment keeps the *same* `Arc` as the
+    /// base it was cloned from, so an incremental republish shares clean
+    /// chunks with the previous epoch instead of re-allocating O(world).
+    ///
+    /// Projection overlays merge **per slot**: a local `Some` wins, a local
+    /// `None` keeps the shared slot — the same fallthrough [`EmbedCache::
+    /// get_proj`] applies before freezing, so freezing never changes what a
+    /// lookup observes.
     pub fn into_shared(mut self) -> Self {
-        let mut map = match self.shared {
-            Some(arc) => std::sync::Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-            None => std::collections::HashMap::new(),
-        };
-        map.extend(self.local.drain());
-        let mut proj = match self.proj_shared {
-            Some(arc) => std::sync::Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-            None => std::collections::HashMap::new(),
-        };
-        proj.extend(self.proj_local.drain());
-        Self {
-            shared: Some(std::sync::Arc::new(map)),
-            local: std::collections::HashMap::new(),
-            proj_shared: Some(std::sync::Arc::new(proj)),
-            proj_local: std::collections::HashMap::new(),
+        let mut touched: Vec<usize> = self
+            .local
+            .keys()
+            .chain(self.proj_local.keys())
+            .map(|&node| Self::segment_of(node))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        if let Some(&max_seg) = touched.last() {
+            if self.shared.len() <= max_seg {
+                self.shared.resize(max_seg + 1, None);
+            }
         }
+        for seg_idx in touched {
+            let mut seg = match &self.shared[seg_idx] {
+                Some(arc) => (**arc).clone(),
+                None => Segment::default(),
+            };
+            let base = seg_idx * SEGMENT_NODES;
+            for off in 0..SEGMENT_NODES {
+                if let Some(val) = self.local.remove(&(base + off)) {
+                    seg.embeds[off] = Some(val);
+                }
+                if let Some(entry) = self.proj_local.remove(&(base + off)) {
+                    let merged = seg.projs[off].get_or_insert_with(Default::default);
+                    for (slot, val) in entry.into_iter().enumerate() {
+                        if let Some(val) = val {
+                            merged[slot] = Some(val);
+                        }
+                    }
+                }
+            }
+            self.shared[seg_idx] = Some(std::sync::Arc::new(seg));
+        }
+        debug_assert!(self.local.is_empty() && self.proj_local.is_empty());
+        Self { shared: self.shared, local: Default::default(), proj_local: Default::default() }
     }
 }
 
@@ -251,8 +340,103 @@ pub mod inputs {
 #[cfg(test)]
 mod tests {
     use super::inputs::*;
+    use super::{EmbedCache, ProjSlot, SEGMENT_NODES};
     use gaia_synth::{generate_dataset, WorldConfig};
-    use gaia_tensor::Graph;
+    use gaia_tensor::{Graph, Tensor};
+
+    fn probe(node: usize) -> Tensor {
+        Tensor::from_vec(vec![1, 2], vec![node as f32, 1.0])
+    }
+
+    /// Shared cache over `n` nodes with embeddings and one projection slot.
+    fn frozen(n: usize) -> EmbedCache {
+        let mut c = EmbedCache::new();
+        for v in 0..n {
+            c.insert(v, probe(v));
+            c.insert_proj(v, ProjSlot::Q, probe(v));
+            c.insert_proj(v, ProjSlot::GateSrc, probe(v + 1));
+        }
+        c.into_shared()
+    }
+
+    #[test]
+    fn segmented_cache_lookup_across_boundaries() {
+        let n = SEGMENT_NODES * 2 + 5;
+        let c = frozen(n);
+        assert_eq!(c.len(), n);
+        assert_eq!(c.cached_projections(), n);
+        assert_eq!(c.segment_count(), 3);
+        for v in [0, SEGMENT_NODES - 1, SEGMENT_NODES, n - 1] {
+            assert_eq!(c.get(v), Some(&probe(v)), "embed {v}");
+            assert_eq!(c.get_proj(v, ProjSlot::Q), Some(&probe(v)), "proj {v}");
+            assert_eq!(c.get_proj(v, ProjSlot::K), None);
+        }
+        assert_eq!(c.get(n), None);
+        assert_eq!(c.get(SEGMENT_NODES * 40), None);
+    }
+
+    #[test]
+    fn freeze_rebuilds_only_touched_segments() {
+        let n = SEGMENT_NODES * 3;
+        let base = frozen(n);
+        let addrs: Vec<_> = (0..3).map(|s| base.segment_addr(s).unwrap()).collect();
+        // Clone (Arc bumps), dirty one node in the middle segment, refreeze.
+        let mut next = base.clone();
+        let dirty = SEGMENT_NODES + 7;
+        next.insert(dirty, probe(999));
+        next.insert_proj(dirty, ProjSlot::Q, probe(998));
+        let next = next.into_shared();
+        // Clean segments share the previous epoch's storage...
+        assert_eq!(next.segment_addr(0), Some(addrs[0]));
+        assert_eq!(next.segment_addr(2), Some(addrs[2]));
+        // ...the touched one was copied...
+        assert_ne!(next.segment_addr(1), Some(addrs[1]));
+        // ...and lookups see the new value there, old values elsewhere.
+        assert_eq!(next.get(dirty), Some(&probe(999)));
+        assert_eq!(next.get_proj(dirty, ProjSlot::Q), Some(&probe(998)));
+        assert_eq!(next.get(dirty + 1), Some(&probe(dirty + 1)));
+        assert_eq!(next.get(0), Some(&probe(0)));
+        // The base epoch is untouched (copy-on-write, not in-place).
+        assert_eq!(base.get(dirty), Some(&probe(dirty)));
+    }
+
+    #[test]
+    fn per_slot_projection_merge_preserves_unwritten_slots() {
+        let base = frozen(SEGMENT_NODES);
+        let mut next = base.clone();
+        // Overwrite only Q; GateSrc must survive the refreeze via fallthrough.
+        next.insert_proj(3, ProjSlot::Q, probe(777));
+        let next = next.into_shared();
+        assert_eq!(next.get_proj(3, ProjSlot::Q), Some(&probe(777)));
+        assert_eq!(next.get_proj(3, ProjSlot::GateSrc), Some(&probe(4)));
+        // And the embedding of that node survives too.
+        assert_eq!(next.get(3), Some(&probe(3)));
+    }
+
+    #[test]
+    fn freeze_of_untouched_clone_is_pure_sharing() {
+        let base = frozen(SEGMENT_NODES * 2);
+        let next = base.clone().into_shared();
+        for s in 0..base.segment_count() {
+            assert_eq!(next.segment_addr(s), base.segment_addr(s), "segment {s}");
+        }
+    }
+
+    #[test]
+    fn empty_and_clear_behave() {
+        let mut c = EmbedCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.segment_count(), 0);
+        assert_eq!(c.segment_addr(0), None);
+        c.insert(5, probe(5));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        let mut f = frozen(4);
+        assert_eq!(f.len(), 4);
+        f.clear();
+        assert!(f.is_empty() && f.segment_count() == 0);
+    }
 
     #[test]
     fn input_builders_shapes() {

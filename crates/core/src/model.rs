@@ -272,6 +272,42 @@ impl Gaia {
         cache
     }
 
+    /// Incremental counterpart of [`Gaia::precompute_embeddings`]: start
+    /// from the previous epoch's frozen cache (an `Arc`-bump clone) and
+    /// recompute the embedding + layer-0 projections of `nodes` only.
+    /// Freezing the result rebuilds just the segments those nodes land in —
+    /// every clean segment keeps sharing the previous epoch's storage.
+    ///
+    /// Sound because cache entries are pure per-node functions of
+    /// `(ds rows, parameters)`, never of the graph: with the same model and
+    /// the same clean rows, a stale entry is bit-identical to a recomputed
+    /// one, so the only entries that *can* differ are exactly the ones
+    /// recomputed here. `nodes` must cover every node whose dataset row
+    /// changed (the publisher passes the dirty-set ego closure, a
+    /// superset). Nodes at or beyond `ds.n` are ignored.
+    pub fn precompute_embeddings_delta(
+        &self,
+        ds: &gaia_synth::Dataset,
+        prev: &EmbedCache,
+        nodes: &[u32],
+    ) -> EmbedCache {
+        let mut cache = prev.clone();
+        let mut g = Graph::for_inference();
+        for &node in nodes {
+            let node = node as usize;
+            if node >= ds.n {
+                continue;
+            }
+            g.reset();
+            let e = self.embed(&mut g, ds, node);
+            cache.insert(node, g.value(e).clone());
+            if let Some(layer0) = self.layers.first() {
+                layer0.precompute_node_projections(&mut g, &self.ps, e, node, &mut cache);
+            }
+        }
+        cache
+    }
+
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.ps.num_scalars()

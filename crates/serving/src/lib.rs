@@ -17,5 +17,7 @@ pub mod server;
 pub mod swap;
 
 pub use offline::{ModelArtifact, OfflinePipeline};
-pub use server::{linearity_r2, InferenceContext, ModelServer, ModelSnapshot, ServeStats};
+pub use server::{
+    linearity_r2, DeltaPublishStats, InferenceContext, ModelServer, ModelSnapshot, ServeStats,
+};
 pub use swap::{Swap, SwapReader};

@@ -13,45 +13,80 @@
 use crate::offline::ModelArtifact;
 use crate::swap::{Swap, SwapReader};
 use gaia_core::trainer::{predict_batch_with, predict_one_with, InferenceScratch, Prediction};
-use gaia_core::{EmbedCache, Gaia};
-use gaia_graph::EsellerGraph;
-use gaia_synth::Dataset;
+use gaia_core::{EmbedCache, Gaia, GraphForecaster};
+use gaia_graph::{dirty_closure, EsellerGraph};
+use gaia_synth::{
+    node_row_unchanged, refresh_dataset, refresh_dataset_full, Dataset, DirtySet, World,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One published model generation: the version, the restored parameters and
-/// the publish-time precomputed node embeddings, swapped as a single unit so
-/// readers can never observe a version/parameter/embedding mismatch.
+/// One published serving generation: the model version, the restored
+/// parameters, the publish-time precomputed node embeddings **and the
+/// feature/graph stores they were computed against**, swapped as a single
+/// unit so readers can never observe a model/embedding/world mismatch —
+/// neither across model hot swaps nor across incremental world republishes.
 #[derive(Debug)]
 pub struct ModelSnapshot {
     /// Version of the [`ModelArtifact`] this snapshot was built from.
     pub version: u64,
+    /// World revision: bumped by every republish under churn
+    /// ([`ModelServer::publish_delta`] / [`ModelServer::publish_full`]),
+    /// kept across pure model publishes.
+    pub world_rev: u64,
     /// The restored model.
     pub model: Gaia,
-    /// `E_v` for every node of the serving dataset, computed once at
+    /// `E_v` plus layer-0 projections for every node of `ds`, computed at
     /// publish: workers install this read-only cache instead of each paying
-    /// their own embedding warm-up.
+    /// their own embedding warm-up. Segmented copy-on-write form — a delta
+    /// republish shares every clean segment with the previous generation.
     pub embeddings: EmbedCache,
+    /// The serving dataset this generation's embeddings were computed from.
+    pub ds: Dataset,
+    /// The e-seller graph requests draw ego subgraphs from.
+    pub graph: EsellerGraph,
 }
 
 impl ModelSnapshot {
-    fn from_artifact(artifact: &ModelArtifact, ds: &Dataset) -> Self {
+    fn from_artifact(
+        artifact: &ModelArtifact,
+        world_rev: u64,
+        ds: Dataset,
+        graph: EsellerGraph,
+    ) -> Self {
         let mut model = Gaia::new(artifact.config.clone(), 0);
         model.restore(&artifact.checkpoint).expect("artifact checkpoint must load");
         // Frozen/shared form: installing into a worker context is an Arc
         // bump, not a deep copy of every node's tensor.
-        let embeddings = model.precompute_embeddings(ds).into_shared();
-        Self { version: artifact.version, model, embeddings }
+        let embeddings = model.precompute_embeddings(&ds).into_shared();
+        Self { version: artifact.version, world_rev, model, embeddings, ds, graph }
     }
 }
 
-/// Online model server holding the published Gaia model plus the feature /
-/// graph stores needed to serve predictions.
+/// What one [`ModelServer::publish_delta`] actually recomputed — the
+/// O(dirty·ego) claim made observable (and benchmarkable) per publish.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DeltaPublishStats {
+    /// Nodes in the world after the republish.
+    pub world_nodes: usize,
+    /// Nodes the caller's dirty set named.
+    pub dirty_nodes: usize,
+    /// Size of the dirty set's ego-radius closure — the correctness
+    /// boundary: every node whose served inputs could have moved.
+    pub closure_nodes: usize,
+    /// Nodes actually recomputed: closure nodes whose refreshed feature row
+    /// differs bitwise from the previous generation's, plus any nodes
+    /// appended to the world since then. Closure nodes with unchanged rows
+    /// keep their cached embeddings (same inputs + deterministic kernels
+    /// = same bits), so this is O(changed), not O(closure).
+    pub recomputed_nodes: usize,
+}
+
+/// Online model server holding the published serving generation (model +
+/// embeddings + feature/graph stores, one atomic unit).
 pub struct ModelServer {
     snapshot: Swap<ModelSnapshot>,
-    graph: EsellerGraph,
-    ds: Dataset,
     seed: u64,
 }
 
@@ -137,8 +172,8 @@ impl InferenceContext<'_> {
         }
         let pred = predict_one_with(
             &snap.model,
-            &self.server.ds,
-            &self.server.graph,
+            &snap.ds,
+            &snap.graph,
             shop,
             self.server.seed,
             &mut self.scratch,
@@ -160,8 +195,8 @@ impl InferenceContext<'_> {
         }
         let preds = predict_batch_with(
             &snap.model,
-            &self.server.ds,
-            &self.server.graph,
+            &snap.ds,
+            &snap.graph,
             shops,
             self.server.seed,
             &mut self.scratch,
@@ -194,6 +229,18 @@ impl InferenceContext<'_> {
         self.reader.get().version
     }
 
+    /// World revision of the snapshot this context currently serves from.
+    pub fn world_rev(&mut self) -> u64 {
+        self.reader.get().world_rev
+    }
+
+    /// Publish epoch of the snapshot this context **last served from**
+    /// (no revalidation): the monotone observable the hot-swap-under-churn
+    /// tests track to prove a context never moves backwards in time.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.reader.seen_epoch()
+    }
+
     /// Number of requests this context has served.
     pub fn served(&self) -> usize {
         self.served
@@ -204,16 +251,109 @@ impl ModelServer {
     /// Boot a server from a published artifact and the online stores. Node
     /// embeddings for the whole dataset are precomputed into the snapshot.
     pub fn new(artifact: &ModelArtifact, graph: EsellerGraph, ds: Dataset, seed: u64) -> Self {
-        let snapshot = Swap::new(Arc::new(ModelSnapshot::from_artifact(artifact, &ds)));
-        Self { snapshot, graph, ds, seed }
+        let snapshot = Swap::new(Arc::new(ModelSnapshot::from_artifact(artifact, 0, ds, graph)));
+        Self { snapshot, seed }
     }
 
     /// Hot-swap to a newer published model (no downtime: the install is one
     /// atomic store; readers finish in-flight requests on the old snapshot
     /// and pick up the new one on their next request). Embedding precompute
     /// happens here, off the request path, before the swap is made visible.
+    /// The feature/graph stores carry over from the current generation.
     pub fn publish(&self, artifact: &ModelArtifact) {
-        self.snapshot.store(Arc::new(ModelSnapshot::from_artifact(artifact, &self.ds)));
+        self.snapshot.update(|prev| {
+            Arc::new(ModelSnapshot::from_artifact(
+                artifact,
+                prev.world_rev,
+                prev.ds.clone(),
+                prev.graph.clone(),
+            ))
+        });
+    }
+
+    /// Incremental republish under world churn: refresh the feature rows of
+    /// `dirty` under the current generation's frozen scalers, recompute
+    /// embeddings + layer-0 projections for the members of the dirty set's
+    /// **ego-radius closure** (radius = the served model's ego hops, walked
+    /// on the post-mutation graph) whose refreshed rows actually moved, and
+    /// publish a snapshot that shares every clean cache segment with the
+    /// previous generation — O(dirty·ego) allocation and compute instead of
+    /// the O(world) teardown of [`ModelServer::publish_full`].
+    ///
+    /// The model is carried over unchanged (republish ≠ retrain); the
+    /// delta-vs-full parity wall proves served predictions are identical to
+    /// the teardown path for any mutation sequence. The closure runs inside
+    /// [`Swap::update`], so concurrent publishers serialise and no delta is
+    /// lost. Returns what was actually recomputed.
+    pub fn publish_delta(&self, world: &World, dirty: &DirtySet) -> DeltaPublishStats {
+        let mut stats = DeltaPublishStats::default();
+        self.snapshot.update(|prev| {
+            let ds = refresh_dataset(world, &prev.ds, dirty.nodes());
+            let radius = prev.model.ego_config().hops;
+            let closure = dirty_closure(&world.graph, dirty.nodes(), radius);
+            // The closure is the correctness boundary, but embeddings and
+            // layer-0 projections are pure functions of a node's feature
+            // row, and the refresh rewrote only the dirty rows — so closure
+            // nodes whose row is bit-identical to the previous generation's
+            // keep their cached entries (same inputs + deterministic
+            // kernels = same bits). A marked-but-unmoved node (e.g. an edge
+            // endpoint whose features carry no degree) costs a row compare,
+            // not a forward pass.
+            let mut recompute: Vec<u32> = closure
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    (v as usize) < prev.ds.n && !node_row_unchanged(&ds, &prev.ds, v as usize)
+                })
+                .collect();
+            // Nodes appended since the previous generation are always new
+            // work, whether or not the caller remembered to mark them.
+            for v in prev.ds.n as u32..ds.n as u32 {
+                if let Err(pos) = recompute.binary_search(&v) {
+                    recompute.insert(pos, v);
+                }
+            }
+            let embeddings = prev
+                .model
+                .precompute_embeddings_delta(&ds, &prev.embeddings, &recompute)
+                .into_shared();
+            stats = DeltaPublishStats {
+                world_nodes: ds.n,
+                dirty_nodes: dirty.len(),
+                closure_nodes: closure.len(),
+                recomputed_nodes: recompute.len(),
+            };
+            Arc::new(ModelSnapshot {
+                version: prev.version,
+                world_rev: prev.world_rev + 1,
+                model: prev.model.clone(),
+                embeddings,
+                ds,
+                graph: world.graph.clone(),
+            })
+        });
+        stats
+    }
+
+    /// Full-teardown republish under world churn: refresh **every** feature
+    /// row under the current generation's frozen scalers and rerun the
+    /// whole-world `precompute_embeddings` path from an empty cache — the
+    /// O(world) reference [`ModelServer::publish_delta`] is proven
+    /// equivalent to (and benchmarked against). Same model, same frozen
+    /// statistics; only the incremental shortcuts differ.
+    pub fn publish_full(&self, world: &World) {
+        self.snapshot.update(|prev| {
+            let ds = refresh_dataset_full(world, &prev.ds);
+            let embeddings = prev.model.precompute_embeddings(&ds).into_shared();
+            Arc::new(ModelSnapshot {
+                version: prev.version,
+                world_rev: prev.world_rev + 1,
+                model: prev.model.clone(),
+                embeddings,
+                ds,
+                graph: world.graph.clone(),
+            })
+        });
     }
 
     /// Currently served model version.
@@ -394,8 +534,9 @@ impl ModelServer {
     /// clients"). Returns `(clients, seconds)` pairs.
     pub fn scaling_curve(&self, sizes: &[usize], workers: usize) -> Vec<(usize, f64)> {
         let mut out = Vec::with_capacity(sizes.len());
+        let n = self.snapshot.load_full().ds.n;
         for &size in sizes {
-            let shops: Vec<usize> = (0..size).map(|i| i % self.ds.n).collect();
+            let shops: Vec<usize> = (0..size).map(|i| i % n).collect();
             let (_, stats) = self.predict_many(&shops, workers);
             out.push((size, stats.seconds));
         }
@@ -517,16 +658,17 @@ mod tests {
     fn precomputed_embeddings_cover_dataset_and_swap_replaces_them() {
         let (server, mut pipeline, world) = booted_server();
         let mut ctx = server.inference_context();
+        let n = server.snapshot().ds.n;
         // The snapshot's publish-time embeddings and layer-0 projections
         // are installed up front — batched requests never convolve K/V.
-        assert_eq!(ctx.cached_embeddings(), server.ds.n, "cache must cover every node");
-        assert_eq!(ctx.cached_projections(), server.ds.n, "projections must cover every node");
+        assert_eq!(ctx.cached_embeddings(), n, "cache must cover every node");
+        assert_eq!(ctx.cached_projections(), n, "projections must cover every node");
         let first = ctx.predict(3);
         // Serving from the precomputed cache must equal a from-scratch
         // forward pass (no cache ever sees this tape).
         let mut bare = InferenceScratch::new();
-        let uncached =
-            predict_one_with(&server.snapshot().model, &server.ds, &server.graph, 3, 42, &mut bare);
+        let snap = server.snapshot();
+        let uncached = predict_one_with(&snap.model, &snap.ds, &snap.graph, 3, 42, &mut bare);
         assert_eq!(first.model_space, uncached.model_space);
         // A hot swap replaces the embeddings (stale ones would silently
         // serve the old model's parameters).
@@ -534,7 +676,7 @@ mod tests {
         server.publish(&artifact2);
         let swapped = ctx.predict(3);
         assert_ne!(first.model_space, swapped.model_space);
-        assert_eq!(ctx.cached_embeddings(), server.ds.n);
+        assert_eq!(ctx.cached_embeddings(), n);
         // And the served answer under the new model matches a fresh context.
         let fresh = server.predict_one(3);
         assert_eq!(swapped.model_space, fresh.model_space);
@@ -744,12 +886,14 @@ mod tests {
         // Precompute the expected answer for shop 5 under each generation.
         let mut artifacts = vec![];
         let mut expected = vec![server.predict_one(5).model_space.clone()];
+        let current = server.snapshot();
         for _ in 0..3 {
             let (a, _, _) = pipeline.execute_month(&world);
-            let snap = ModelSnapshot::from_artifact(&a, &server.ds);
+            let snap =
+                ModelSnapshot::from_artifact(&a, 0, current.ds.clone(), current.graph.clone());
             let mut scratch = InferenceScratch::new();
             expected.push(
-                predict_one_with(&snap.model, &server.ds, &server.graph, 5, 42, &mut scratch)
+                predict_one_with(&snap.model, &snap.ds, &snap.graph, 5, 42, &mut scratch)
                     .model_space
                     .clone(),
             );
@@ -785,5 +929,241 @@ mod tests {
         });
         assert_eq!(server.version(), 4);
         assert_eq!(server.publishes(), 3);
+    }
+
+    /// A server over an untrained (but deterministically initialised)
+    /// model: delta-vs-full parity is a property of the republish paths,
+    /// not of training, and skipping the train loop keeps these tests fast
+    /// enough to run at a world size with several cache segments.
+    fn untrained_server(
+        n_shops: usize,
+        world_seed: u64,
+    ) -> (ModelServer, gaia_synth::World, ModelArtifact) {
+        let wc = WorldConfig { n_shops, seed: world_seed, ..WorldConfig::tiny() };
+        let (world, ds) = generate_dataset(wc);
+        let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 8;
+        cfg.kernel_groups = 2;
+        cfg.layers = 1;
+        cfg.ego = EgoConfig { hops: 1, fanout: 3 };
+        let model = Gaia::new(cfg.clone(), 7);
+        let artifact = ModelArtifact {
+            version: 1,
+            config: cfg,
+            checkpoint: model.checkpoint(),
+            final_train_loss: 0.0,
+        };
+        let server = ModelServer::new(&artifact, world.graph.clone(), ds, 42);
+        (server, world, artifact)
+    }
+
+    /// Two-tier parity discipline: the scalar build must agree bit for
+    /// bit; the SIMD build within 1e-4 relative.
+    fn assert_prediction_parity(delta: &Prediction, full: &Prediction, shop: usize) {
+        assert_eq!(delta.node, full.node);
+        assert_eq!(delta.model_space.len(), full.model_space.len());
+        if cfg!(feature = "simd") {
+            for (h, (a, b)) in delta.model_space.iter().zip(&full.model_space).enumerate() {
+                let tol = 1e-4f32 * b.abs().max(1.0);
+                assert!(
+                    (a - b).abs() <= tol,
+                    "shop {shop} horizon {h}: delta {a} vs full {b} beyond 1e-4 relative"
+                );
+            }
+        } else {
+            assert_eq!(
+                delta.model_space, full.model_space,
+                "shop {shop} diverged bitwise on the scalar build"
+            );
+        }
+    }
+
+    /// One burst of realistic churn: a history rewrite deep enough to move
+    /// the *input* window (the world's trailing `horizon` months are the
+    /// target, so a shallow write would be invisible to features), a supply
+    /// rewire, an industry move and a brand-new shop with no history.
+    fn churn(world: &mut gaia_synth::World, horizon: usize) -> DirtySet {
+        use gaia_synth::{MonthlySales, NewShop, Role};
+        let window: Vec<MonthlySales> = (0..horizon + 3)
+            .map(|m| MonthlySales {
+                gmv: 4_000.0 + 250.0 * m as f64,
+                orders: 40.0 + m as f64,
+                customers: 25.0,
+            })
+            .collect();
+        world.record_sales(2, &window);
+        let supplier = world.shops.iter().position(|s| s.role == Role::Supplier).unwrap() as u32;
+        let retailer = world.shops.iter().position(|s| s.role == Role::Retailer).unwrap() as u32;
+        world.add_supply_edge(supplier, retailer);
+        let new_industry = world.shops[8].industry;
+        world.set_industry(5, new_industry);
+        world.add_shop(NewShop {
+            industry: world.shops[0].industry,
+            region: world.shops[0].region,
+            role: Role::Retailer,
+            owner: world.shops[0].owner,
+            lead: 0,
+        });
+        world.take_dirty()
+    }
+
+    /// THE delta-vs-full parity wall at unit scope: after a burst of churn
+    /// (history rewrite, edge rewire, industry move, new shop),
+    /// `publish_delta` must serve the same predictions as the
+    /// full-teardown `publish_full` for **every** shop — including the one
+    /// that did not exist in the previous generation — while recomputing
+    /// only the dirty closure, not the world.
+    #[test]
+    fn delta_publish_matches_full_teardown() {
+        let (delta_srv, mut world_a, _) = untrained_server(160, 21);
+        let (full_srv, mut world_b, _) = untrained_server(160, 21);
+        let horizon = delta_srv.snapshot().ds.horizon;
+        let dirty = churn(&mut world_a, horizon);
+        let dirty_b = churn(&mut world_b, horizon);
+        assert_eq!(dirty, dirty_b, "identical churn scripts must dirty the same nodes");
+        assert!(!dirty.is_empty());
+
+        let stats = delta_srv.publish_delta(&world_a, &dirty);
+        full_srv.publish_full(&world_b);
+
+        assert_eq!(stats.world_nodes, 161, "the new shop joined the serving world");
+        assert!(stats.closure_nodes >= dirty.len(), "closure includes the dirty set");
+        assert!(stats.recomputed_nodes >= 1, "the rewritten history and new shop are real work");
+        assert!(
+            stats.recomputed_nodes < stats.world_nodes,
+            "delta republish recomputed the whole world ({stats:?})"
+        );
+
+        let snap_d = delta_srv.snapshot();
+        let snap_f = full_srv.snapshot();
+        assert_eq!(snap_d.world_rev, 1);
+        assert_eq!(snap_f.world_rev, 1);
+        assert_eq!(snap_d.version, 1, "a republish is not a retrain");
+        assert_eq!(snap_d.ds.n, snap_f.ds.n);
+
+        let mut ctx_d = delta_srv.inference_context();
+        let mut ctx_f = full_srv.inference_context();
+        for shop in 0..snap_d.ds.n {
+            assert_prediction_parity(&ctx_d.predict(shop), &ctx_f.predict(shop), shop);
+        }
+    }
+
+    /// An empty dirty set is a true no-op republish: nothing is
+    /// recomputed, every copy-on-write segment of the published cache is
+    /// the *same allocation* as the previous generation's, and served
+    /// predictions are bit-identical on every build — yet the world
+    /// revision still advances so observers can tell the publish happened.
+    #[test]
+    fn empty_dirty_republish_shares_every_segment() {
+        let (server, world, _) = untrained_server(60, 5);
+        let before = server.snapshot();
+        let preds: Vec<_> = (0..before.ds.n).map(|s| server.predict_one(s)).collect();
+
+        let stats = server.publish_delta(&world, &DirtySet::default());
+        assert_eq!(stats.dirty_nodes, 0);
+        assert_eq!(stats.closure_nodes, 0);
+        assert_eq!(stats.recomputed_nodes, 0);
+
+        let after = server.snapshot();
+        assert_eq!(after.world_rev, 1);
+        assert_eq!(after.embeddings.segment_count(), before.embeddings.segment_count());
+        for seg in 0..before.embeddings.segment_count() {
+            let addr = after.embeddings.segment_addr(seg);
+            assert!(addr.is_some(), "published cache lost segment {seg}");
+            assert_eq!(
+                before.embeddings.segment_addr(seg),
+                addr,
+                "segment {seg} was rebuilt by a no-op republish"
+            );
+        }
+        for (shop, expected) in preds.iter().enumerate() {
+            assert_eq!(server.predict_one(shop).model_space, expected.model_space);
+        }
+    }
+
+    /// A small dirty set rebuilds only the segments its ego closure
+    /// touches: every other segment of the published cache is shared by
+    /// `Arc` with the previous generation (O(dirty·ego) allocation, not
+    /// O(world)), and shops outside the closure keep serving bit-identical
+    /// predictions on both builds.
+    #[test]
+    fn delta_republish_shares_clean_segments() {
+        use gaia_synth::MonthlySales;
+        let (server, mut world, _) = untrained_server(160, 9);
+        let before = server.snapshot();
+        let preds: Vec<_> = (0..before.ds.n).map(|s| server.predict_one(s)).collect();
+
+        let window: Vec<MonthlySales> = (0..before.ds.horizon + 2)
+            .map(|m| MonthlySales {
+                gmv: 9_000.0 + 100.0 * m as f64,
+                orders: 64.0,
+                customers: 31.0,
+            })
+            .collect();
+        world.record_sales(2, &window);
+        let dirty = world.take_dirty();
+        let radius = before.model.ego_config().hops;
+        let closure = dirty_closure(&world.graph, dirty.nodes(), radius);
+        assert!(closure.len() > 1, "shop 2 should have ego neighbours in this world");
+
+        let stats = server.publish_delta(&world, &dirty);
+        assert_eq!(stats.closure_nodes, closure.len());
+        // Only shop 2's feature row actually moved; its closure neighbours
+        // refreshed to bit-identical rows and kept their cached entries.
+        assert_eq!(stats.recomputed_nodes, 1);
+
+        let after = server.snapshot();
+        let rebuilt = EmbedCache::segment_of(2);
+        for seg in 0..before.embeddings.segment_count() {
+            let (b, a) = (before.embeddings.segment_addr(seg), after.embeddings.segment_addr(seg));
+            if seg == rebuilt {
+                assert_ne!(b, a, "the rewritten shop's segment must be rebuilt");
+            } else {
+                assert_eq!(b, a, "clean segment {seg} must be shared, not copied");
+            }
+        }
+        // Any shop outside the closure has an unchanged feature row AND an
+        // ego subgraph disjoint from the mutation (the closure is the
+        // ego-radius ball), so its served bits must not move at all.
+        for shop in 0..before.ds.n {
+            if !closure.contains(&(shop as u32)) {
+                assert_eq!(
+                    server.predict_one(shop).model_space,
+                    preds[shop].model_space,
+                    "clean shop {shop} changed under a disjoint delta"
+                );
+            }
+        }
+    }
+
+    /// Pure model publishes and world republishes advance orthogonal
+    /// counters: `publish` bumps the version and carries the world
+    /// revision, `publish_delta`/`publish_full` bump the revision and
+    /// carry the version.
+    #[test]
+    fn version_and_world_rev_advance_independently() {
+        let (server, world, artifact) = untrained_server(60, 3);
+        let snap = server.snapshot();
+        assert_eq!((snap.version, snap.world_rev), (1, 0));
+
+        server.publish_delta(&world, &DirtySet::default());
+        let snap = server.snapshot();
+        assert_eq!((snap.version, snap.world_rev), (1, 1));
+
+        let mut a2 = artifact.clone();
+        a2.version = 2;
+        server.publish(&a2);
+        let snap = server.snapshot();
+        assert_eq!((snap.version, snap.world_rev), (2, 1));
+
+        server.publish_full(&world);
+        let snap = server.snapshot();
+        assert_eq!((snap.version, snap.world_rev), (2, 2));
+        assert_eq!(server.publishes(), 3);
+
+        // A context tracks both counters through the publish sequence.
+        let mut ctx = server.inference_context();
+        assert_eq!(ctx.model_version(), 2);
+        assert_eq!(ctx.world_rev(), 2);
     }
 }

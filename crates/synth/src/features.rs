@@ -95,6 +95,11 @@ pub struct Dataset {
     pub observed_len: Vec<usize>,
     /// The fitted scaler.
     pub scaler: Scaler,
+    /// Auxiliary scaler for monthly order counts (train-fitted, frozen
+    /// across incremental refreshes like [`Dataset::scaler`]).
+    pub orders_scaler: Scaler,
+    /// Auxiliary scaler for monthly unique customers (same freezing rule).
+    pub customers_scaler: Scaler,
     /// Largest model-space target seen on the training split, used to clamp
     /// predictions before the exp() back-transform (early-training overshoot
     /// would otherwise explode RMSE through the exponential).
@@ -163,40 +168,13 @@ pub fn build_dataset(world: &World) -> Dataset {
     let mut observed_len = Vec::with_capacity(n);
 
     for v in 0..n {
-        let shop = &world.shops[v];
-        let mut series = Vec::with_capacity(t);
-        let mut feats = Tensor::zeros(vec![t, D_TEMPORAL]);
-        for (row, m) in (in_start..fut_start).enumerate() {
-            let observed = m >= shop.opened;
-            series.push(if observed { scaler.normalize(shop.gmv[m]) } else { 0.0 });
-            let moy = month_of_year(m) as f32;
-            *feats.at_mut(row, 0) = (std::f32::consts::TAU * moy / 12.0).sin();
-            *feats.at_mut(row, 1) = (std::f32::consts::TAU * moy / 12.0).cos();
-            *feats.at_mut(row, 2) =
-                if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
-            *feats.at_mut(row, 3) =
-                if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
-            *feats.at_mut(row, 4) = if observed { 1.0 } else { 0.0 };
-        }
-        let mut stat = Tensor::zeros(vec![1, d_s]);
-        *stat.at_mut(0, shop.industry as usize) = 1.0;
-        *stat.at_mut(0, cfg.n_industries + shop.region as usize) = 1.0;
-        *stat.at_mut(0, cfg.n_industries + cfg.n_regions) =
-            if shop.role == Role::Supplier { 1.0 } else { 0.0 };
-        // Normalised age (how much of the window is observed).
-        let obs = (fut_start - in_start).saturating_sub(shop.opened.saturating_sub(in_start));
-        let obs = obs.min(t);
-        *stat.at_mut(0, cfg.n_industries + cfg.n_regions + 1) = obs as f32 / t as f32;
-
-        let raw: Vec<f64> = (fut_start..fut_start + horizon).map(|m| shop.gmv[m]).collect();
-        let norm: Vec<f32> = raw.iter().map(|&x| scaler.normalize_pos(x)).collect();
-
-        gmv_norm.push(series);
-        temporal.push(feats);
-        statics.push(stat);
-        targets_raw.push(raw);
-        targets_norm.push(norm);
-        observed_len.push(obs);
+        let row = node_row(world, v, &scaler, &orders_scaler, &customers_scaler);
+        gmv_norm.push(row.series);
+        temporal.push(row.feats);
+        statics.push(row.stat);
+        targets_raw.push(row.raw);
+        targets_norm.push(row.norm);
+        observed_len.push(row.obs);
     }
 
     let max_model_z = splits
@@ -217,11 +195,142 @@ pub fn build_dataset(world: &World) -> Dataset {
         targets_norm,
         observed_len,
         scaler,
+        orders_scaler,
+        customers_scaler,
         max_model_z,
         d_t: D_TEMPORAL,
         d_s,
         splits,
     }
+}
+
+/// One shop's model-ready row: everything [`build_dataset`] derives per node.
+struct NodeRow {
+    series: Vec<f32>,
+    feats: Tensor,
+    stat: Tensor,
+    raw: Vec<f64>,
+    norm: Vec<f32>,
+    obs: usize,
+}
+
+/// Compute one shop's dataset row from the world under the given (already
+/// fitted) scalers. Shared between the full build and the incremental
+/// refresh paths, so a refreshed row is bit-identical to a rebuilt one by
+/// construction.
+fn node_row(
+    world: &World,
+    v: usize,
+    scaler: &Scaler,
+    orders_scaler: &Scaler,
+    customers_scaler: &Scaler,
+) -> NodeRow {
+    let cfg = &world.config;
+    let t = cfg.input_window;
+    let in_start = cfg.input_start();
+    let fut_start = cfg.horizon_start();
+    let d_s = cfg.n_industries + cfg.n_regions + 2;
+    let shop = &world.shops[v];
+    let mut series = Vec::with_capacity(t);
+    let mut feats = Tensor::zeros(vec![t, D_TEMPORAL]);
+    for (row, m) in (in_start..fut_start).enumerate() {
+        let observed = m >= shop.opened;
+        series.push(if observed { scaler.normalize(shop.gmv[m]) } else { 0.0 });
+        let moy = month_of_year(m) as f32;
+        *feats.at_mut(row, 0) = (std::f32::consts::TAU * moy / 12.0).sin();
+        *feats.at_mut(row, 1) = (std::f32::consts::TAU * moy / 12.0).cos();
+        *feats.at_mut(row, 2) =
+            if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
+        *feats.at_mut(row, 3) =
+            if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
+        *feats.at_mut(row, 4) = if observed { 1.0 } else { 0.0 };
+    }
+    let mut stat = Tensor::zeros(vec![1, d_s]);
+    *stat.at_mut(0, shop.industry as usize) = 1.0;
+    *stat.at_mut(0, cfg.n_industries + shop.region as usize) = 1.0;
+    *stat.at_mut(0, cfg.n_industries + cfg.n_regions) =
+        if shop.role == Role::Supplier { 1.0 } else { 0.0 };
+    // Normalised age (how much of the window is observed).
+    let obs = (fut_start - in_start).saturating_sub(shop.opened.saturating_sub(in_start));
+    let obs = obs.min(t);
+    *stat.at_mut(0, cfg.n_industries + cfg.n_regions + 1) = obs as f32 / t as f32;
+
+    let raw: Vec<f64> = (fut_start..fut_start + cfg.horizon).map(|m| shop.gmv[m]).collect();
+    let norm: Vec<f32> = raw.iter().map(|&x| scaler.normalize_pos(x)).collect();
+    NodeRow { series, feats, stat, raw, norm, obs }
+}
+
+/// Refresh a dataset after world mutations, recomputing **only** the rows in
+/// `dirty` (plus any nodes appended since `prev` was built) under the frozen
+/// training-time statistics of `prev`.
+///
+/// Freezing is the point: scalers, splits and the `max_model_z` clamp were
+/// fitted when the served model was trained, and a republish that does not
+/// retrain must keep feeding the model inputs in the same normalisation —
+/// otherwise every clean node's features (and thus its cached embedding)
+/// would silently shift. New nodes (`prev.n..world.shops.len()`) are always
+/// recomputed and join the test split: they were never seen in training.
+///
+/// Because rows are pure per-node functions of `(world, frozen scalers)`,
+/// the result is bit-identical to [`refresh_dataset_full`] whenever `dirty`
+/// covers every node whose shop data changed — the feature-space half of the
+/// delta-vs-full parity wall.
+pub fn refresh_dataset(world: &World, prev: &Dataset, dirty: &[u32]) -> Dataset {
+    let n = world.shops.len();
+    assert!(n >= prev.n, "refresh_dataset: worlds only grow (n={n} < prev {})", prev.n);
+    let mut ds = prev.clone();
+    ds.n = n;
+    for v in prev.n..n {
+        ds.splits.test.push(v);
+    }
+    let recompute = dirty.iter().map(|&v| v as usize).filter(|&v| v < prev.n).chain(prev.n..n);
+    for v in recompute {
+        let row = node_row(world, v, &ds.scaler, &ds.orders_scaler, &ds.customers_scaler);
+        if v < prev.n {
+            ds.gmv_norm[v] = row.series;
+            ds.temporal[v] = row.feats;
+            ds.statics[v] = row.stat;
+            ds.targets_raw[v] = row.raw;
+            ds.targets_norm[v] = row.norm;
+            ds.observed_len[v] = row.obs;
+        } else {
+            ds.gmv_norm.push(row.series);
+            ds.temporal.push(row.feats);
+            ds.statics.push(row.stat);
+            ds.targets_raw.push(row.raw);
+            ds.targets_norm.push(row.norm);
+            ds.observed_len.push(row.obs);
+        }
+    }
+    ds
+}
+
+/// Full-teardown counterpart of [`refresh_dataset`]: recompute **every**
+/// row from the world under `prev`'s frozen statistics. This is the
+/// reference the delta parity wall compares against — same frozen scalers,
+/// no dirty-set shortcuts.
+pub fn refresh_dataset_full(world: &World, prev: &Dataset) -> Dataset {
+    let all: Vec<u32> = (0..prev.n as u32).collect();
+    refresh_dataset(world, prev, &all)
+}
+
+/// True when **every** per-node column of shop `v`'s row — input series,
+/// temporal and static features, targets, observed length — is bit-identical
+/// between two datasets. This is the incremental-republish skip test: a node
+/// whose row did not move cannot produce a different embedding (embeddings
+/// are pure functions of the row and the kernels are deterministic), so its
+/// cached entries can be carried into the next generation untouched.
+/// Comparison is bitwise (`f32`/`f64` equality), so `NaN`s compare unequal
+/// and force a recompute — the conservative direction.
+pub fn node_row_unchanged(a: &Dataset, b: &Dataset, v: usize) -> bool {
+    a.gmv_norm[v] == b.gmv_norm[v]
+        && a.observed_len[v] == b.observed_len[v]
+        && a.temporal[v].shape() == b.temporal[v].shape()
+        && a.temporal[v].data() == b.temporal[v].data()
+        && a.statics[v].shape() == b.statics[v].shape()
+        && a.statics[v].data() == b.statics[v].data()
+        && a.targets_raw[v] == b.targets_raw[v]
+        && a.targets_norm[v] == b.targets_norm[v]
 }
 
 impl Dataset {
@@ -372,6 +481,104 @@ mod tests {
             assert!(ds.observed_len[v] >= 10);
         }
         assert_eq!(new_g.len() + old_g.len(), ds.splits.test.len());
+    }
+
+    fn datasets_bit_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.n, b.n);
+        for v in 0..a.n {
+            assert_eq!(a.gmv_norm[v], b.gmv_norm[v], "gmv_norm row {v}");
+            assert!(a.temporal[v] == b.temporal[v], "temporal row {v}");
+            assert!(a.statics[v] == b.statics[v], "statics row {v}");
+            assert_eq!(a.targets_norm[v], b.targets_norm[v], "targets row {v}");
+            assert_eq!(a.observed_len[v], b.observed_len[v], "observed_len row {v}");
+        }
+        assert_eq!(a.max_model_z, b.max_model_z);
+        assert_eq!(a.splits.train, b.splits.train);
+        assert_eq!(a.splits.test, b.splits.test);
+    }
+
+    #[test]
+    fn refresh_of_unmutated_world_is_identity() {
+        let (world, ds) = dataset();
+        datasets_bit_identical(&refresh_dataset(&world, &ds, &[]), &ds);
+        datasets_bit_identical(&refresh_dataset_full(&world, &ds), &ds);
+    }
+
+    #[test]
+    fn dirty_refresh_matches_full_refresh_after_mutations() {
+        use crate::mutate::{MonthlySales, NewShop};
+        use crate::world::Role;
+        let (mut world, ds) = dataset();
+        // A window longer than the horizon reaches back into the input
+        // months, so both the inputs and the targets of shop 2 change.
+        let window: Vec<MonthlySales> = (0..ds.horizon + 3)
+            .map(|i| MonthlySales { gmv: 9e4 + i as f64, orders: 120.0, customers: 80.0 })
+            .collect();
+        world.record_sales(2, &window);
+        world.add_shop(NewShop {
+            industry: 0,
+            region: 0,
+            role: Role::Retailer,
+            owner: world.shops[5].owner,
+            lead: 0,
+        });
+        let dirty = world.take_dirty();
+        let delta = refresh_dataset(&world, &ds, dirty.nodes());
+        let full = refresh_dataset_full(&world, &ds);
+        datasets_bit_identical(&delta, &full);
+        // The new shop joined the test split with an all-unobserved window.
+        let new_id = ds.n;
+        assert_eq!(delta.n, ds.n + 1);
+        assert!(delta.splits.test.contains(&new_id));
+        assert_eq!(delta.observed_len[new_id], 0);
+        assert!(delta.gmv_norm[new_id].iter().all(|&z| z == 0.0));
+        // Frozen statistics carried over from the pre-mutation build.
+        assert_eq!(delta.scaler.mean, ds.scaler.mean);
+        assert_eq!(delta.max_model_z, ds.max_model_z);
+        // And the dirty row actually changed, inputs and targets both.
+        assert_ne!(delta.gmv_norm[2], ds.gmv_norm[2]);
+        assert_ne!(delta.targets_norm[2], ds.targets_norm[2]);
+    }
+
+    #[test]
+    fn refresh_without_the_dirty_row_leaves_it_stale() {
+        // Negative control: the parity above is meaningful only because a
+        // missing dirty id would produce a different dataset.
+        use crate::mutate::MonthlySales;
+        let (mut world, ds) = dataset();
+        let window: Vec<MonthlySales> = (0..ds.horizon + 3)
+            .map(|i| MonthlySales { gmv: 9e4 + i as f64, orders: 120.0, customers: 80.0 })
+            .collect();
+        world.record_sales(2, &window);
+        let stale = refresh_dataset(&world, &ds, &[]);
+        assert_eq!(stale.gmv_norm[2], ds.gmv_norm[2]);
+        let fresh = refresh_dataset(&world, &ds, &[2]);
+        assert_ne!(fresh.gmv_norm[2], ds.gmv_norm[2]);
+    }
+
+    /// `node_row_unchanged` detects exactly the rows a refresh moved: the
+    /// republish path uses it to skip recomputing embeddings for closure
+    /// nodes whose inputs did not actually change.
+    #[test]
+    fn node_row_unchanged_flags_only_moved_rows() {
+        use crate::mutate::MonthlySales;
+        let (mut world, ds) = dataset();
+        for v in 0..ds.n {
+            assert!(node_row_unchanged(&ds, &ds, v), "identity must compare unchanged at {v}");
+        }
+        let window: Vec<MonthlySales> = (0..ds.horizon + 3)
+            .map(|i| MonthlySales { gmv: 7e4 + i as f64, orders: 90.0, customers: 60.0 })
+            .collect();
+        world.record_sales(3, &window);
+        let fresh = refresh_dataset(&world, &ds, &[3]);
+        assert!(!node_row_unchanged(&fresh, &ds, 3), "rewritten row must compare changed");
+        for v in (0..ds.n).filter(|&v| v != 3) {
+            assert!(node_row_unchanged(&fresh, &ds, v), "untouched row {v} compared changed");
+        }
+        // A dirty mark whose underlying data never moved refreshes to a
+        // bit-identical row — the skip test must see through it.
+        let remark = refresh_dataset(&world, &fresh, &[5]);
+        assert!(node_row_unchanged(&remark, &fresh, 5));
     }
 
     #[test]

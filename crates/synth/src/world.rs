@@ -17,6 +17,7 @@
 //! `gmv_v(t) = base_v · exp(market + seasonal + owner + noise)`.
 
 use crate::config::WorldConfig;
+use crate::mutate::DirtySet;
 use gaia_graph::{Edge, EdgeType, EsellerGraph};
 use gaia_tensor::gauss;
 use rand::rngs::StdRng;
@@ -84,6 +85,9 @@ pub struct World {
     pub graph: EsellerGraph,
     /// Ground-truth supply links (superset info for mining evaluation).
     pub true_supply_links: Vec<TrueSupplyLink>,
+    /// Nodes mutated since the last publish (see `crate::mutate`). Freshly
+    /// generated worlds start clean.
+    pub(crate) dirty: DirtySet,
 }
 
 /// Month-of-year (0-based) for a generated month index; the world starts in
@@ -324,7 +328,7 @@ impl World {
         }
 
         let graph = EsellerGraph::from_edges(n, &edges);
-        World { config, shops, graph, true_supply_links: true_links }
+        World { config, shops, graph, true_supply_links: true_links, dirty: DirtySet::default() }
     }
 
     /// Candidate `(supplier, retailer)` pairs for the mining path: all pairs
