@@ -236,7 +236,7 @@ mod tests {
         // internal first-row block outputs do not. Here we check the cheap
         // invariant: all ops remain finite under large inputs.
         let (world, mut ds, model) = small();
-        for x in ds.gmv_norm[0].iter_mut() {
+        for x in ds.gmv_row_mut(0).iter_mut() {
             *x = 50.0;
         }
         let mut rng = StdRng::seed_from_u64(3);

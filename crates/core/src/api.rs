@@ -22,7 +22,7 @@ use gaia_tensor::{Graph, Tensor, VarId};
 /// Cloning a shared cache is an `Arc` bump, not a deep copy of the tensors,
 /// so handing one to every serving worker is cheap.
 /// Slots of the per-node **layer-0 projection cache** (see
-/// [`EmbedCache::get_proj`]): the CAU's Q/K/V conv projections and the
+/// [`EmbedCache::proj_constant`]): the CAU's Q/K/V conv projections and the
 /// ITA aggregation gate's source/destination projections, all evaluated on
 /// the node's embedding `E_v`. Like `E_v` itself, these depend only on the
 /// node's features and the parameters — never on the ego subgraph — so the
@@ -45,23 +45,90 @@ pub enum ProjSlot {
 /// One node's cached projections, filled lazily per slot.
 type ProjEntry = [Option<Tensor>; 5];
 
+/// All projection slots, indexable by `ProjSlot as usize`.
+const PROJ_SLOTS: [ProjSlot; 5] =
+    [ProjSlot::Q, ProjSlot::K, ProjSlot::V, ProjSlot::GateSrc, ProjSlot::GateDst];
+
 /// Nodes per copy-on-write cache segment (see [`EmbedCache`]): contiguous
 /// node-id ranges `[k·64, (k+1)·64)` share one `Arc`'d chunk, so an
 /// incremental republish re-allocates only the chunks a dirty node lands in.
+/// Must stay 64: segment presence masks are one `u64` bit per node.
 pub const SEGMENT_NODES: usize = 64;
 
-/// One shared chunk of [`SEGMENT_NODES`] consecutive nodes: their embedding
-/// values and layer-0 projection entries together, so an epoch either owns
-/// a segment's storage or shares all of it with the previous epoch.
-#[derive(Clone, Debug)]
-struct Segment {
-    embeds: Vec<Option<Tensor>>,
-    projs: Vec<Option<ProjEntry>>,
+/// Element type of the frozen cache blocks: raw `f32` by default, IEEE 754
+/// binary16 bits under the opt-in `embed-f16` feature (half the resident
+/// bytes, dequantised into pooled tape buffers on read).
+#[cfg(not(feature = "embed-f16"))]
+type CacheElem = f32;
+/// Element type of the frozen cache blocks (binary16 bits — see
+/// [`crate::half`]).
+#[cfg(feature = "embed-f16")]
+type CacheElem = u16;
+
+#[cfg(not(feature = "embed-f16"))]
+#[inline]
+fn encode_elem(x: f32) -> CacheElem {
+    x
+}
+#[cfg(feature = "embed-f16")]
+#[inline]
+fn encode_elem(x: f32) -> CacheElem {
+    crate::half::f32_to_f16(x)
 }
 
-impl Default for Segment {
-    fn default() -> Self {
-        Self { embeds: vec![None; SEGMENT_NODES], projs: vec![None; SEGMENT_NODES] }
+#[cfg(not(feature = "embed-f16"))]
+#[inline]
+fn decode_elem(q: CacheElem) -> f32 {
+    q
+}
+#[cfg(feature = "embed-f16")]
+#[inline]
+fn decode_elem(q: CacheElem) -> f32 {
+    crate::half::f16_to_f32(q)
+}
+
+/// Elements one node occupies in a segment block for embedding dims
+/// `(t, c)`: embed `[T,C]`, Q/K/V `[T,C]` each, two gate projections
+/// `[T,1]` each, at the fixed offsets of [`slot_span`].
+#[inline]
+fn node_stride(t: usize, c: usize) -> usize {
+    4 * t * c + 2 * t
+}
+
+/// `(offset, rows, cols)` of a projection slot inside a node's block.
+#[inline]
+fn slot_span(t: usize, c: usize, slot: ProjSlot) -> (usize, usize, usize) {
+    let tc = t * c;
+    match slot {
+        ProjSlot::Q => (tc, t, c),
+        ProjSlot::K => (2 * tc, t, c),
+        ProjSlot::V => (3 * tc, t, c),
+        ProjSlot::GateSrc => (4 * tc, t, 1),
+        ProjSlot::GateDst => (4 * tc + t, t, 1),
+    }
+}
+
+/// One shared chunk of [`SEGMENT_NODES`] consecutive nodes: embedding
+/// values and layer-0 projections together in **one contiguous block** at
+/// fixed per-node strides (node `off`'s embed at `off·stride`, projections
+/// at [`slot_span`] offsets behind it), so an epoch either owns a segment's
+/// storage — a single allocation — or shares all of it with the previous
+/// epoch. Presence is tracked per node in the bit masks; absent entries
+/// leave their lanes zeroed.
+#[derive(Clone, Debug)]
+struct Segment {
+    data: Vec<CacheElem>,
+    embed_mask: u64,
+    proj_masks: [u64; 5],
+}
+
+impl Segment {
+    fn empty(stride: usize) -> Self {
+        Self {
+            data: vec![Default::default(); SEGMENT_NODES * stride],
+            embed_mask: 0,
+            proj_masks: [0; 5],
+        }
     }
 }
 
@@ -73,6 +140,10 @@ pub struct EmbedCache {
     /// local overlay touched, leaving every clean segment's `Arc` (and thus
     /// its heap storage) shared with the previous epoch.
     shared: Vec<Option<std::sync::Arc<Segment>>>,
+    /// Embedding dims `(T, C)` of the frozen blocks, inferred from the
+    /// overlay tensors on the first freeze. Every cached tensor agrees on
+    /// them (one model, one dataset — see [`EmbedCache::clear`]).
+    dims: Option<(usize, usize)>,
     local: std::collections::HashMap<usize, Tensor>,
     proj_local: std::collections::HashMap<usize, ProjEntry>,
 }
@@ -105,17 +176,88 @@ impl EmbedCache {
             .map(|arc| std::sync::Arc::as_ptr(arc) as usize)
     }
 
-    fn shared_embed(&self, node: usize) -> Option<&Tensor> {
-        self.shared.get(Self::segment_of(node))?.as_ref()?.embeds[node % SEGMENT_NODES].as_ref()
+    /// Flat element span of `node`'s frozen embedding, if present.
+    fn shared_embed_span(&self, node: usize) -> Option<&[CacheElem]> {
+        let (t, c) = self.dims?;
+        let seg = self.shared.get(Self::segment_of(node))?.as_ref()?;
+        let off = node % SEGMENT_NODES;
+        if seg.embed_mask >> off & 1 == 0 {
+            return None;
+        }
+        let stride = node_stride(t, c);
+        Some(&seg.data[off * stride..off * stride + t * c])
     }
 
-    fn shared_proj(&self, node: usize) -> Option<&ProjEntry> {
-        self.shared.get(Self::segment_of(node))?.as_ref()?.projs[node % SEGMENT_NODES].as_ref()
+    /// Flat element span of `node`'s frozen projection `slot` plus its
+    /// `[rows, cols]` shape, if present.
+    fn shared_proj_span(
+        &self,
+        node: usize,
+        slot: ProjSlot,
+    ) -> Option<(&[CacheElem], usize, usize)> {
+        let (t, c) = self.dims?;
+        let seg = self.shared.get(Self::segment_of(node))?.as_ref()?;
+        let off = node % SEGMENT_NODES;
+        if seg.proj_masks[slot as usize] >> off & 1 == 0 {
+            return None;
+        }
+        let (offset, rows, cols) = slot_span(t, c, slot);
+        let start = off * node_stride(t, c) + offset;
+        Some((&seg.data[start..start + rows * cols], rows, cols))
     }
 
-    /// Cached embedding value for `node`, if present.
-    pub fn get(&self, node: usize) -> Option<&Tensor> {
-        self.local.get(&node).or_else(|| self.shared_embed(node))
+    /// True when `node`'s embedding is cached (shared or local).
+    pub fn has_embed(&self, node: usize) -> bool {
+        self.local.contains_key(&node) || self.shared_embed_span(node).is_some()
+    }
+
+    /// True when projection `slot` of `node` is cached (shared or local).
+    pub fn has_proj(&self, node: usize, slot: ProjSlot) -> bool {
+        self.proj_local.get(&node).is_some_and(|e| e[slot as usize].is_some())
+            || self.shared_proj_span(node, slot).is_some()
+    }
+
+    /// Enter `node`'s cached embedding on the tape as a pooled `[T, C]`
+    /// constant, if present: a plain pooled copy for a local-overlay hit, a
+    /// dequantising fill straight from the frozen block for a shared hit —
+    /// either way no staging allocation, so the serving steady state stays
+    /// zero-alloc.
+    pub fn embed_constant(&self, g: &mut Graph, node: usize) -> Option<VarId> {
+        if let Some(tensor) = self.local.get(&node) {
+            return Some(g.constant_from(tensor));
+        }
+        let (t, c) = self.dims?;
+        let span = self.shared_embed_span(node)?;
+        Some(constant_from_span(g, span, t, c))
+    }
+
+    /// Enter `node`'s cached layer-0 projection `slot` on the tape as a
+    /// pooled constant, if present. Local overlay first, then the shared
+    /// base — per slot, so a partially filled local entry still falls
+    /// through to frozen slots.
+    pub fn proj_constant(&self, g: &mut Graph, node: usize, slot: ProjSlot) -> Option<VarId> {
+        if let Some(t) = self.proj_local.get(&node).and_then(|e| e[slot as usize].as_ref()) {
+            return Some(g.constant_from(t));
+        }
+        let (span, rows, cols) = self.shared_proj_span(node, slot)?;
+        Some(constant_from_span(g, span, rows, cols))
+    }
+
+    /// Owned f32 copy of `node`'s cached embedding (decoded from the
+    /// frozen block when shared) — the test/debug read path.
+    pub fn embed_vec(&self, node: usize) -> Option<Vec<f32>> {
+        if let Some(tensor) = self.local.get(&node) {
+            return Some(tensor.data().to_vec());
+        }
+        Some(self.shared_embed_span(node)?.iter().map(|&q| decode_elem(q)).collect())
+    }
+
+    /// Owned f32 copy of `node`'s cached projection `slot`, if present.
+    pub fn proj_vec(&self, node: usize, slot: ProjSlot) -> Option<Vec<f32>> {
+        if let Some(t) = self.proj_local.get(&node).and_then(|e| e[slot as usize].as_ref()) {
+            return Some(t.data().to_vec());
+        }
+        Some(self.shared_proj_span(node, slot)?.0.iter().map(|&q| decode_elem(q)).collect())
     }
 
     /// Store `node`'s embedding value (goes to the local overlay).
@@ -125,13 +267,10 @@ impl EmbedCache {
 
     /// Number of cached nodes (shared and local combined).
     pub fn len(&self) -> usize {
-        let shared_len: usize = self
-            .shared
-            .iter()
-            .flatten()
-            .map(|seg| seg.embeds.iter().filter(|e| e.is_some()).count())
-            .sum();
-        let overlay_only = self.local.keys().filter(|&&k| self.shared_embed(k).is_none()).count();
+        let shared_len: usize =
+            self.shared.iter().flatten().map(|seg| seg.embed_mask.count_ones() as usize).sum();
+        let overlay_only =
+            self.local.keys().filter(|&&k| self.shared_embed_span(k).is_none()).count();
         shared_len + overlay_only
     }
 
@@ -142,22 +281,14 @@ impl EmbedCache {
 
     /// Drop every cached embedding **and projection**, shared and local
     /// (required after a parameter or dataset change — projections are
-    /// functions of the same parameters the embeddings are).
+    /// functions of the same parameters the embeddings are). Also forgets
+    /// the frozen dims: the next freeze re-infers them, so a model with a
+    /// different channel width can reuse the cache object.
     pub fn clear(&mut self) {
         self.shared.clear();
+        self.dims = None;
         self.local.clear();
         self.proj_local.clear();
-    }
-
-    /// Cached layer-0 projection `slot` of `node`, if present (local
-    /// overlay first, then the shared base — per slot, so a partially
-    /// filled local entry still falls through to shared slots).
-    pub fn get_proj(&self, node: usize, slot: ProjSlot) -> Option<&Tensor> {
-        let i = slot as usize;
-        self.proj_local
-            .get(&node)
-            .and_then(|e| e[i].as_ref())
-            .or_else(|| self.shared_proj(node)?[i].as_ref())
     }
 
     /// Store layer-0 projection `slot` of `node` (local overlay). The
@@ -174,24 +305,69 @@ impl EmbedCache {
             .shared
             .iter()
             .flatten()
-            .map(|seg| seg.projs.iter().filter(|e| e.is_some()).count())
+            .map(|seg| seg.proj_masks.iter().fold(0u64, |acc, &m| acc | m).count_ones() as usize)
             .sum();
-        let overlay_only =
-            self.proj_local.keys().filter(|&&k| self.shared_proj(k).is_none()).count();
+        let overlay_only = self
+            .proj_local
+            .keys()
+            .filter(|&&k| !PROJ_SLOTS.iter().any(|&s| self.shared_proj_span(k, s).is_some()))
+            .count();
         shared_len + overlay_only
+    }
+
+    /// Approximate resident heap bytes of the cache: every heap block's
+    /// `capacity × element size` plus a 16-byte per-allocation overhead,
+    /// inline headers counted as part of their parent block. The frozen
+    /// tier is one contiguous block per segment (two allocations with the
+    /// `Arc`), so the world-scale bench sees per-node cost collapse to the
+    /// element payload itself.
+    pub fn approx_heap_bytes(&self) -> usize {
+        const OVH: usize = 16;
+        fn tensor_bytes(t: &Tensor) -> usize {
+            t.data().len() * 4 + t.shape().len() * 8 + 2 * OVH
+        }
+        let mut bytes =
+            self.shared.capacity() * std::mem::size_of::<Option<std::sync::Arc<Segment>>>() + OVH;
+        for seg in self.shared.iter().flatten() {
+            bytes += OVH; // the Arc allocation (header + inline Segment)
+            bytes += seg.data.capacity() * std::mem::size_of::<CacheElem>() + OVH;
+        }
+        for t in self.local.values() {
+            bytes += tensor_bytes(t) + 3 * OVH;
+        }
+        for entry in self.proj_local.values() {
+            bytes += entry.iter().flatten().map(tensor_bytes).sum::<usize>() + 3 * OVH;
+        }
+        bytes
+    }
+
+    /// Embedding dims `(T, C)` implied by the overlay tensors: embeddings
+    /// and Q/K/V projections are `[T, C]`. Gate-only overlays cannot pin
+    /// `C`, but every producer inserts the embedding first.
+    fn infer_dims(&self) -> Option<(usize, usize)> {
+        if self.dims.is_some() {
+            return self.dims;
+        }
+        self.local
+            .values()
+            .chain(self.proj_local.values().flat_map(|e| e[..3].iter().flatten()))
+            .next()
+            .map(|t| (t.shape()[0], t.shape()[1]))
     }
 
     /// Freeze this cache into its cheaply cloneable shared form with
     /// **copy-on-write** segment granularity: only segments the local
-    /// overlay touched are rebuilt (shared chunk cloned, overlay merged in,
-    /// new `Arc`); every untouched segment keeps the *same* `Arc` as the
-    /// base it was cloned from, so an incremental republish shares clean
-    /// chunks with the previous epoch instead of re-allocating O(world).
+    /// overlay touched are rebuilt (shared block cloned, overlay entries
+    /// encoded in at their fixed strides, new `Arc`); every untouched
+    /// segment keeps the *same* `Arc` as the base it was cloned from, so an
+    /// incremental republish shares clean chunks with the previous epoch
+    /// instead of re-allocating O(world).
     ///
-    /// Projection overlays merge **per slot**: a local `Some` wins, a local
-    /// `None` keeps the shared slot — the same fallthrough [`EmbedCache::
-    /// get_proj`] applies before freezing, so freezing never changes what a
-    /// lookup observes.
+    /// Projection overlays merge **per slot**: a local `Some` overwrites
+    /// its lane and sets its presence bit, a local `None` leaves the shared
+    /// lane intact — the same fallthrough [`EmbedCache::proj_constant`]
+    /// applies before freezing, so freezing never changes what a lookup
+    /// observes.
     pub fn into_shared(mut self) -> Self {
         let mut touched: Vec<usize> = self
             .local
@@ -201,6 +377,14 @@ impl EmbedCache {
             .collect();
         touched.sort_unstable();
         touched.dedup();
+        if touched.is_empty() {
+            return self;
+        }
+        let (t, c) = self
+            .infer_dims()
+            .expect("EmbedCache::into_shared: no [T, C] overlay tensor to infer dims from");
+        self.dims = Some((t, c));
+        let stride = node_stride(t, c);
         if let Some(&max_seg) = touched.last() {
             if self.shared.len() <= max_seg {
                 self.shared.resize(max_seg + 1, None);
@@ -209,18 +393,25 @@ impl EmbedCache {
         for seg_idx in touched {
             let mut seg = match &self.shared[seg_idx] {
                 Some(arc) => (**arc).clone(),
-                None => Segment::default(),
+                None => Segment::empty(stride),
             };
+            assert_eq!(seg.data.len(), SEGMENT_NODES * stride, "frozen segment stride mismatch");
             let base = seg_idx * SEGMENT_NODES;
             for off in 0..SEGMENT_NODES {
+                let block = off * stride;
                 if let Some(val) = self.local.remove(&(base + off)) {
-                    seg.embeds[off] = Some(val);
+                    assert_eq!(val.shape(), &[t, c], "cached embedding shape");
+                    encode_into(&mut seg.data[block..block + t * c], val.data());
+                    seg.embed_mask |= 1 << off;
                 }
                 if let Some(entry) = self.proj_local.remove(&(base + off)) {
-                    let merged = seg.projs[off].get_or_insert_with(Default::default);
-                    for (slot, val) in entry.into_iter().enumerate() {
+                    for (slot_i, val) in entry.into_iter().enumerate() {
                         if let Some(val) = val {
-                            merged[slot] = Some(val);
+                            let (offset, rows, cols) = slot_span(t, c, PROJ_SLOTS[slot_i]);
+                            assert_eq!(val.shape(), &[rows, cols], "cached projection shape");
+                            let start = block + offset;
+                            encode_into(&mut seg.data[start..start + rows * cols], val.data());
+                            seg.proj_masks[slot_i] |= 1 << off;
                         }
                     }
                 }
@@ -228,8 +419,39 @@ impl EmbedCache {
             self.shared[seg_idx] = Some(std::sync::Arc::new(seg));
         }
         debug_assert!(self.local.is_empty() && self.proj_local.is_empty());
-        Self { shared: self.shared, local: Default::default(), proj_local: Default::default() }
+        Self {
+            shared: self.shared,
+            dims: self.dims,
+            local: Default::default(),
+            proj_local: Default::default(),
+        }
     }
+}
+
+/// Encode an f32 tensor payload into a frozen block span.
+#[inline]
+fn encode_into(dst: &mut [CacheElem], src: &[f32]) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = encode_elem(x);
+    }
+}
+
+/// Enter a frozen element span on the tape as a pooled `[rows, cols]`
+/// constant: a straight pooled slice copy on the f32 tier, a dequantising
+/// [`Graph::constant_fill`] on the `embed-f16` tier.
+#[cfg(not(feature = "embed-f16"))]
+fn constant_from_span(g: &mut Graph, span: &[CacheElem], rows: usize, cols: usize) -> VarId {
+    g.constant_slice(&[rows, cols], span)
+}
+/// Enter a frozen element span on the tape as a pooled `[rows, cols]`
+/// constant (dequantising fill — see [`crate::half`]).
+#[cfg(feature = "embed-f16")]
+fn constant_from_span(g: &mut Graph, span: &[CacheElem], rows: usize, cols: usize) -> VarId {
+    g.constant_fill(&[rows, cols], |buf| {
+        for (d, &q) in buf.iter_mut().zip(span) {
+            *d = decode_elem(q);
+        }
+    })
 }
 
 /// A model that predicts a centre shop's future GMV from its ego subgraph.
@@ -296,9 +518,11 @@ pub mod inputs {
     /// Inputs enter the tape as pooled copies, so a reset-reused tape feeds
     /// them in without fresh allocations.
     pub fn node_inputs(g: &mut Graph, ds: &Dataset, node: usize) -> (VarId, VarId, VarId) {
-        let z = g.constant_slice(&[ds.t, 1], &ds.gmv_norm[node]);
-        let f_t = g.constant_from(&ds.temporal[node]);
-        let f_s = g.constant_from(&ds.statics[node]);
+        let z = g.constant_slice(&[ds.t, 1], ds.gmv_row(node));
+        // The temporal row is materialised straight into the pooled tape
+        // buffer — the dataset stores only its scaler-dependent columns.
+        let f_t = g.constant_fill(&[ds.t, ds.d_t], |buf| ds.write_temporal_row(node, buf));
+        let f_s = g.constant_slice(&[1, ds.d_s], ds.statics_row(node));
         (z, f_t, f_s)
     }
 
@@ -307,12 +531,12 @@ pub mod inputs {
     pub fn flat_features(g: &mut Graph, ds: &Dataset, node: usize) -> VarId {
         let mut data = Vec::with_capacity(ds.t * (1 + ds.d_t) + ds.d_s);
         for t in 0..ds.t {
-            data.push(ds.gmv_norm[node][t]);
+            data.push(ds.gmv_row(node)[t]);
             for k in 0..ds.d_t {
-                data.push(ds.temporal[node].at(t, k));
+                data.push(ds.temporal_at(node, t, k));
             }
         }
-        data.extend_from_slice(ds.statics[node].data());
+        data.extend_from_slice(ds.statics_row(node));
         let width = data.len();
         g.constant(Tensor::from_vec(vec![1, width], data))
     }
@@ -328,9 +552,9 @@ pub mod inputs {
         let cols = 1 + ds.d_t;
         let mut data = Vec::with_capacity(ds.t * cols);
         for t in 0..ds.t {
-            data.push(ds.gmv_norm[node][t]);
+            data.push(ds.gmv_row(node)[t]);
             for k in 0..ds.d_t {
-                data.push(ds.temporal[node].at(t, k));
+                data.push(ds.temporal_at(node, t, k));
             }
         }
         g.constant(Tensor::from_vec(vec![ds.t, cols], data))
@@ -344,19 +568,31 @@ mod tests {
     use gaia_synth::{generate_dataset, WorldConfig};
     use gaia_tensor::{Graph, Tensor};
 
+    // Probe dims: T = 1, C = 2. Embeddings and Q/K/V are `[1, 2]`, the two
+    // gate projections `[1, 1]`. Integer payloads stay ≤ 2048 so the values
+    // survive the `embed-f16` tier bit-exactly and the asserts hold on both
+    // element types.
     fn probe(node: usize) -> Tensor {
         Tensor::from_vec(vec![1, 2], vec![node as f32, 1.0])
     }
 
-    /// Shared cache over `n` nodes with embeddings and one projection slot.
+    fn gate_probe(node: usize) -> Tensor {
+        Tensor::from_vec(vec![1, 1], vec![node as f32])
+    }
+
+    /// Shared cache over `n` nodes with embeddings and two projection slots.
     fn frozen(n: usize) -> EmbedCache {
         let mut c = EmbedCache::new();
         for v in 0..n {
             c.insert(v, probe(v));
             c.insert_proj(v, ProjSlot::Q, probe(v));
-            c.insert_proj(v, ProjSlot::GateSrc, probe(v + 1));
+            c.insert_proj(v, ProjSlot::GateSrc, gate_probe(v + 1));
         }
         c.into_shared()
+    }
+
+    fn embed_of(c: &EmbedCache, node: usize) -> Option<Vec<f32>> {
+        c.embed_vec(node)
     }
 
     #[test]
@@ -367,12 +603,44 @@ mod tests {
         assert_eq!(c.cached_projections(), n);
         assert_eq!(c.segment_count(), 3);
         for v in [0, SEGMENT_NODES - 1, SEGMENT_NODES, n - 1] {
-            assert_eq!(c.get(v), Some(&probe(v)), "embed {v}");
-            assert_eq!(c.get_proj(v, ProjSlot::Q), Some(&probe(v)), "proj {v}");
-            assert_eq!(c.get_proj(v, ProjSlot::K), None);
+            assert_eq!(embed_of(&c, v).as_deref(), Some(probe(v).data()), "embed {v}");
+            assert_eq!(c.proj_vec(v, ProjSlot::Q).as_deref(), Some(probe(v).data()), "proj {v}");
+            assert_eq!(
+                c.proj_vec(v, ProjSlot::GateSrc).as_deref(),
+                Some(gate_probe(v + 1).data()),
+                "gate {v}"
+            );
+            assert_eq!(c.proj_vec(v, ProjSlot::K), None);
+            assert!(c.has_embed(v) && c.has_proj(v, ProjSlot::Q));
+            assert!(!c.has_proj(v, ProjSlot::V));
         }
-        assert_eq!(c.get(n), None);
-        assert_eq!(c.get(SEGMENT_NODES * 40), None);
+        assert_eq!(embed_of(&c, n), None);
+        assert_eq!(embed_of(&c, SEGMENT_NODES * 40), None);
+        assert!(!c.has_embed(n));
+    }
+
+    /// The tape-facing read path: frozen blocks surface as pooled constants
+    /// with the original shapes and (decoded) values.
+    #[test]
+    fn cache_constants_carry_shape_and_value_onto_the_tape() {
+        let c = frozen(SEGMENT_NODES + 3);
+        let mut g = Graph::new();
+        let v = SEGMENT_NODES + 1;
+        let e = c.embed_constant(&mut g, v).unwrap();
+        assert_eq!(g.value(e).shape(), &[1, 2]);
+        assert_eq!(g.value(e).data(), probe(v).data());
+        let q = c.proj_constant(&mut g, v, ProjSlot::Q).unwrap();
+        assert_eq!(g.value(q).shape(), &[1, 2]);
+        assert_eq!(g.value(q).data(), probe(v).data());
+        let gs = c.proj_constant(&mut g, v, ProjSlot::GateSrc).unwrap();
+        assert_eq!(g.value(gs).shape(), &[1, 1]);
+        assert_eq!(g.value(gs).data(), gate_probe(v + 1).data());
+        assert!(c.proj_constant(&mut g, v, ProjSlot::K).is_none());
+        // Local-overlay hits surface the same way, pre-freeze.
+        let mut overlay = EmbedCache::new();
+        overlay.insert(0, probe(7));
+        let o = overlay.embed_constant(&mut g, 0).unwrap();
+        assert_eq!(g.value(o).data(), probe(7).data());
     }
 
     #[test]
@@ -392,12 +660,12 @@ mod tests {
         // ...the touched one was copied...
         assert_ne!(next.segment_addr(1), Some(addrs[1]));
         // ...and lookups see the new value there, old values elsewhere.
-        assert_eq!(next.get(dirty), Some(&probe(999)));
-        assert_eq!(next.get_proj(dirty, ProjSlot::Q), Some(&probe(998)));
-        assert_eq!(next.get(dirty + 1), Some(&probe(dirty + 1)));
-        assert_eq!(next.get(0), Some(&probe(0)));
+        assert_eq!(embed_of(&next, dirty).as_deref(), Some(probe(999).data()));
+        assert_eq!(next.proj_vec(dirty, ProjSlot::Q).as_deref(), Some(probe(998).data()));
+        assert_eq!(embed_of(&next, dirty + 1).as_deref(), Some(probe(dirty + 1).data()));
+        assert_eq!(embed_of(&next, 0).as_deref(), Some(probe(0).data()));
         // The base epoch is untouched (copy-on-write, not in-place).
-        assert_eq!(base.get(dirty), Some(&probe(dirty)));
+        assert_eq!(embed_of(&base, dirty).as_deref(), Some(probe(dirty).data()));
     }
 
     #[test]
@@ -407,10 +675,10 @@ mod tests {
         // Overwrite only Q; GateSrc must survive the refreeze via fallthrough.
         next.insert_proj(3, ProjSlot::Q, probe(777));
         let next = next.into_shared();
-        assert_eq!(next.get_proj(3, ProjSlot::Q), Some(&probe(777)));
-        assert_eq!(next.get_proj(3, ProjSlot::GateSrc), Some(&probe(4)));
+        assert_eq!(next.proj_vec(3, ProjSlot::Q).as_deref(), Some(probe(777).data()));
+        assert_eq!(next.proj_vec(3, ProjSlot::GateSrc).as_deref(), Some(gate_probe(4).data()));
         // And the embedding of that node survives too.
-        assert_eq!(next.get(3), Some(&probe(3)));
+        assert_eq!(embed_of(&next, 3).as_deref(), Some(probe(3).data()));
     }
 
     #[test]

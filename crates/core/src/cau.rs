@@ -215,8 +215,8 @@ pub(crate) fn proj_cached(
     node: usize,
     cache: &mut EmbedCache,
 ) -> VarId {
-    if let Some(t) = cache.get_proj(node, slot) {
-        return g.constant_from(t);
+    if let Some(var) = cache.proj_constant(g, node, slot) {
+        return var;
     }
     let var = conv.forward(g, ps, state);
     cache.insert_proj(node, slot, g.value(var).clone());

@@ -23,6 +23,7 @@ pub mod api;
 pub mod cau;
 pub mod config;
 pub mod ffl;
+pub mod half;
 pub mod ita;
 pub mod model;
 pub mod tel;

@@ -161,8 +161,8 @@ impl Gaia {
         for v in 0..n {
             let node = ego.nodes[v] as usize;
             // Cached embeddings enter the tape as pooled copies (no clone of
-            // the cache tensor, no fresh allocation in steady state).
-            let hit = cache.as_ref().and_then(|c| c.get(node)).map(|t| g.constant_from(t));
+            // the cache storage, no fresh allocation in steady state).
+            let hit = cache.as_ref().and_then(|c| c.embed_constant(g, node));
             let var = match hit {
                 Some(var) => var,
                 None => {
@@ -499,7 +499,7 @@ mod tests {
         let base = g1.value(p1).clone();
         // Perturb the first neighbour's GMV series.
         let nb = ego.nodes[1] as usize;
-        for x in ds.gmv_norm[nb].iter_mut() {
+        for x in ds.gmv_row_mut(nb).iter_mut() {
             *x += 2.0;
         }
         let mut g2 = Graph::new();

@@ -171,7 +171,7 @@ pub fn evaluate_loss<M: GraphForecaster + ?Sized>(
     let mut loss = 0.0;
     for (i, &c) in centers.iter().enumerate() {
         for h in 0..ds.horizon {
-            let d = preds[i].model_space[h] - ds.targets_norm[c][h];
+            let d = preds[i].model_space[h] - ds.targets_norm_row(c)[h];
             loss += d * d;
         }
     }
@@ -284,7 +284,7 @@ impl InferenceScratch {
     }
 
     /// Number of nodes with cached layer-0 projections (the batched
-    /// path's publish-time precompute; see `EmbedCache::get_proj`).
+    /// path's publish-time precompute; see `EmbedCache::proj_constant`).
     pub fn cached_projections(&self) -> usize {
         self.cache.cached_projections()
     }
@@ -602,7 +602,20 @@ mod tests {
             warm.install_embed_cache(model.precompute_embeddings(&ds).into_shared());
             let got = predict_batch_with(&model, &ds, &world.graph, &nodes, 5, &mut warm);
             for (a, b) in got.iter().zip(&expected) {
-                assert_eq!(&a.model_space, b, "{variant:?} precomputed-cache batch diverged");
+                // Bitwise on the f32 cache tier; the `embed-f16` tier
+                // quantises the frozen publish-time cache, so the all-hit
+                // path carries the ~2^-11-relative budget instead.
+                if cfg!(feature = "embed-f16") {
+                    for (g, w) in a.model_space.iter().zip(b) {
+                        let tol = 5e-3 * w.abs().max(1.0);
+                        assert!(
+                            (g - w).abs() <= tol,
+                            "{variant:?} precomputed-cache batch diverged: {g} vs {w}"
+                        );
+                    }
+                } else {
+                    assert_eq!(&a.model_space, b, "{variant:?} precomputed-cache batch diverged");
+                }
             }
         }
     }

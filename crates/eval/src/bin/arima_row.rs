@@ -10,7 +10,7 @@ fn main() {
     let cfg = HarnessConfig::from_args(&args);
     let (world, ds) = cfg.materialize();
     let nodes = ds.splits.test.clone();
-    let actuals: Vec<Vec<f64>> = nodes.iter().map(|&v| ds.targets_raw[v].clone()).collect();
+    let actuals: Vec<Vec<f64>> = nodes.iter().map(|&v| ds.targets_raw_row(v).to_vec()).collect();
     let preds = arima_forecasts(&world, &ds, &nodes, &ArimaBaselineConfig::default());
     let mut months = Vec::new();
     println!("{:<10}{:>10} {:>12} {:>8}", "Month", "MAE", "RMSE", "MAPE");

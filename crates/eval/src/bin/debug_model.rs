@@ -26,7 +26,10 @@ fn main() {
             "shop {:>4}: pred_z {:?} target_z {:?}",
             p.node,
             p.model_space.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
-            ds.targets_norm[p.node].iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            ds.targets_norm_row(p.node)
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
     }
 }

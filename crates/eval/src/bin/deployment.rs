@@ -51,7 +51,8 @@ fn main() {
     let lt_preds =
         predict_nodes(&logtrans, &ds, &world.graph, &newcomers, cfg.seed, cfg.train.threads);
 
-    let actuals: Vec<Vec<f64>> = newcomers.iter().map(|&v| ds.targets_raw[v].clone()).collect();
+    let actuals: Vec<Vec<f64>> =
+        newcomers.iter().map(|&v| ds.targets_raw_row(v).to_vec()).collect();
     let gaia_cur: Vec<Vec<f64>> = gaia_preds.iter().map(|p| p.currency.clone()).collect();
     let lt_cur: Vec<Vec<f64>> = lt_preds.iter().map(|p| p.currency.clone()).collect();
     let gaia_m = metrics_overall(&gaia_cur, &actuals);

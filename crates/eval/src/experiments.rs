@@ -134,7 +134,7 @@ pub struct Table1Result {
 
 /// Ground-truth target rows for a node set.
 fn actuals_for(ds: &Dataset, nodes: &[usize]) -> Vec<Vec<f64>> {
-    nodes.iter().map(|&v| ds.targets_raw[v].clone()).collect()
+    nodes.iter().map(|&v| ds.targets_raw_row(v).to_vec()).collect()
 }
 
 /// Train one neural model and predict the given nodes (currency space).
@@ -347,7 +347,7 @@ pub fn run_fig4(cfg: &HarnessConfig) -> Fig4Result {
         let detail = model.attention_at_center(&mut g, &ds, &ego);
         let intra = g.value(detail.intra).clone();
         // Scatter: attention a_{i,j} (j <= i) vs local-pattern distance.
-        let z = &ds.gmv_norm[center];
+        let z = ds.gmv_row(center);
         for i in 3..ds.t {
             for j in 1..i {
                 let d = local_pattern_distance(z, i, j, 2);

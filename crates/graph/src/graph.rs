@@ -74,6 +74,13 @@ impl EsellerGraph {
     /// duplicates are deduplicated.
     pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
         let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        // First-occurrence dedup on (src, dst, ty). Backward entries carry
+        // `outgoing: false`, so the old linear `adj[src].contains(&fwd)` scan
+        // could only ever match a previously-kept forward entry with the same
+        // destination and type — the set membership below is the same
+        // predicate in O(1) instead of O(degree) per edge.
+        let mut seen: std::collections::HashSet<(u32, u32, EdgeType)> =
+            std::collections::HashSet::with_capacity(edges.len());
         let mut kept = 0usize;
         for e in edges {
             assert!(
@@ -83,13 +90,11 @@ impl EsellerGraph {
             if e.src == e.dst {
                 continue;
             }
-            let fwd = Neighbor { node: e.dst, ty: e.ty, outgoing: true };
-            let bwd = Neighbor { node: e.src, ty: e.ty, outgoing: false };
-            if adj[e.src as usize].contains(&fwd) {
+            if !seen.insert((e.src, e.dst, e.ty)) {
                 continue;
             }
-            adj[e.src as usize].push(fwd);
-            adj[e.dst as usize].push(bwd);
+            adj[e.src as usize].push(Neighbor { node: e.dst, ty: e.ty, outgoing: true });
+            adj[e.dst as usize].push(Neighbor { node: e.src, ty: e.ty, outgoing: false });
             kept += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
@@ -216,5 +221,70 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         let _ = EsellerGraph::from_edges(2, &[Edge { src: 0, dst: 5, ty: EdgeType::SameOwner }]);
+    }
+
+    /// Reference construction using the original O(degree) linear-scan dedup
+    /// (`adj[src].contains(&fwd)`), kept verbatim so the hashed dedup in
+    /// `from_edges` is pinned against it.
+    fn from_edges_linear_scan(n: usize, edges: &[Edge]) -> EsellerGraph {
+        let mut adj: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut kept = 0usize;
+        for e in edges {
+            if e.src == e.dst {
+                continue;
+            }
+            let fwd = Neighbor { node: e.dst, ty: e.ty, outgoing: true };
+            let bwd = Neighbor { node: e.src, ty: e.ty, outgoing: false };
+            if adj[e.src as usize].contains(&fwd) {
+                continue;
+            }
+            adj[e.src as usize].push(fwd);
+            adj[e.dst as usize].push(bwd);
+            kept += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_by_key(|nb| nb.node);
+            entries.extend_from_slice(list);
+            offsets.push(entries.len());
+        }
+        EsellerGraph { n, offsets, entries, edge_count: kept }
+    }
+
+    #[test]
+    fn hashed_dedup_matches_linear_scan_on_duplicate_heavy_input() {
+        // Duplicate-heavy adversarial mix: every edge appears several times,
+        // interleaved with self-loops, reversed copies (distinct edges — the
+        // dedup key is directed), and same-pair edges of a different type.
+        let n = 12usize;
+        let mut edges = Vec::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for round in 0..6 {
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(round + 1);
+                    let pick = (state >> 33) % 5;
+                    if pick == 4 {
+                        continue;
+                    }
+                    let ty = match pick % 3 {
+                        0 => EdgeType::SupplyChain,
+                        1 => EdgeType::SameOwner,
+                        _ => EdgeType::SameShareholder,
+                    };
+                    edges.push(Edge { src: a, dst: b, ty });
+                    if pick == 3 {
+                        edges.push(Edge { src: b, dst: a, ty });
+                    }
+                }
+            }
+        }
+        let fast = EsellerGraph::from_edges(n, &edges);
+        let reference = from_edges_linear_scan(n, &edges);
+        assert_eq!(fast.num_edges(), reference.num_edges());
+        assert_eq!(fast.offsets, reference.offsets);
+        assert_eq!(fast.entries, reference.entries);
     }
 }

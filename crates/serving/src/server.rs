@@ -579,6 +579,27 @@ mod tests {
     use gaia_graph::EgoConfig;
     use gaia_synth::{generate_dataset, WorldConfig};
 
+    /// Cached-vs-uncached (and batched-vs-per-request) prediction parity:
+    /// **bitwise** on the default f32 cache tier; under `embed-f16` the
+    /// frozen cache quantises to binary16 on freeze, so the comparison
+    /// carries the documented ~2^-11-relative budget amplified through the
+    /// network instead.
+    fn assert_pred_matches<T>(got: &[T], want: &[T], what: &str)
+    where
+        T: Copy + Into<f64> + PartialEq + std::fmt::Debug,
+    {
+        assert_eq!(got.len(), want.len(), "{what}: length");
+        if cfg!(feature = "embed-f16") {
+            for (&g, &w) in got.iter().zip(want) {
+                let (g, w): (f64, f64) = (g.into(), w.into());
+                let tol = 5e-3 * w.abs().max(1.0);
+                assert!((g - w).abs() <= tol, "{what}: {g} vs {w} (tol {tol})");
+            }
+        } else {
+            assert_eq!(got, want, "{what}");
+        }
+    }
+
     fn booted_server() -> (Arc<ModelServer>, OfflinePipeline, gaia_synth::World) {
         let (world, ds) = generate_dataset(WorldConfig::tiny());
         let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
@@ -669,7 +690,7 @@ mod tests {
         let mut bare = InferenceScratch::new();
         let snap = server.snapshot();
         let uncached = predict_one_with(&snap.model, &snap.ds, &snap.graph, 3, 42, &mut bare);
-        assert_eq!(first.model_space, uncached.model_space);
+        assert_pred_matches(&first.model_space, &uncached.model_space, "cached vs uncached");
         // A hot swap replaces the embeddings (stale ones would silently
         // serve the old model's parameters).
         let (artifact2, _, _) = pipeline.execute_month(&world);
@@ -807,11 +828,12 @@ mod tests {
                 assert_eq!(got.len(), expected.len());
                 for (a, b) in got.iter().zip(&expected) {
                     assert_eq!(a.node, b.node, "order changed at w={workers} mb={micro_batch}");
-                    assert_eq!(
-                        a.model_space, b.model_space,
-                        "batched serving diverged at w={workers} mb={micro_batch}"
+                    assert_pred_matches(
+                        &a.model_space,
+                        &b.model_space,
+                        &format!("batched serving diverged at w={workers} mb={micro_batch}"),
                     );
-                    assert_eq!(a.currency, b.currency);
+                    assert_pred_matches(&a.currency, &b.currency, "currency");
                 }
                 assert_eq!(stats.per_batch_size.len(), micro_batch);
                 let served: usize =
@@ -820,7 +842,7 @@ mod tests {
                 // serve_stream_batched shares the same path.
                 let (streamed, _) = server.serve_stream_batched(&shops, workers, micro_batch);
                 for (a, b) in streamed.iter().zip(&expected) {
-                    assert_eq!(a.model_space, b.model_space);
+                    assert_pred_matches(&a.model_space, &b.model_space, "streamed batch");
                 }
             }
         }
@@ -862,9 +884,10 @@ mod tests {
         server.publish(&artifact2);
         let after = ctx.predict_batch(&[3, 5]);
         assert_ne!(before[0].model_space, after[0].model_space);
-        // And the swapped answers equal a fresh context's.
+        // And the swapped answers equal a fresh context's (per-request path,
+        // so batched-vs-per-request tolerance applies on the f16 tier).
         let fresh = server.predict_one(3);
-        assert_eq!(after[0].model_space, fresh.model_space);
+        assert_pred_matches(&after[0].model_space, &fresh.model_space, "post-swap batch");
     }
 
     #[test]
@@ -911,12 +934,22 @@ mod tests {
                         assert!(version >= last_version, "version went backwards");
                         last_version = version;
                         let pred = ctx.predict(5);
-                        // The prediction must exactly match ONE generation —
-                        // a torn read (mixed parameters) would match none.
-                        assert!(
-                            expected.contains(&pred.model_space),
-                            "prediction matches no published generation"
-                        );
+                        // The prediction must match ONE generation — a torn
+                        // read (mixed parameters) would match none. Exact on
+                        // the f32 tier; the f16 tier quantises the cache, so
+                        // "matches" carries the quantisation budget (still
+                        // far below inter-generation differences).
+                        let matches_one = if cfg!(feature = "embed-f16") {
+                            expected.iter().any(|e| {
+                                e.len() == pred.model_space.len()
+                                    && e.iter()
+                                        .zip(&pred.model_space)
+                                        .all(|(w, g)| (g - w).abs() <= 5e-3 * w.abs().max(1.0))
+                            })
+                        } else {
+                            expected.contains(&pred.model_space)
+                        };
+                        assert!(matches_one, "prediction matches no published generation");
                     }
                 });
             }

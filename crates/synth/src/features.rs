@@ -4,6 +4,13 @@
 //!
 //! GMV enters the models as standardised `log1p` values (`Scaler`), which is
 //! also how predictions are mapped back to currency for MAE/RMSE/MAPE.
+//!
+//! Storage is struct-of-arrays: every per-shop column lives in one flat
+//! arena (`[N·T]`-style, row-major per shop) rather than one heap object per
+//! shop, so building or refreshing a million-shop dataset performs a handful
+//! of allocations instead of O(N). Consumers read rows through the
+//! `*_row`/`temporal_at` accessors; the arenas themselves are private so the
+//! stride contracts below cannot be bypassed.
 
 use crate::config::WorldConfig;
 use crate::world::{month_of_year, Role, World};
@@ -12,6 +19,14 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// `ln(1 + max(x, 0))` — the log transform every feature column funnels
+/// through (scaler fits and every normalised cell), kept as the single
+/// definition so the fit and transform paths cannot drift bit-wise.
+#[inline]
+fn log1p_pos(x: f64) -> f64 {
+    (1.0 + x.max(0.0)).ln()
+}
 
 /// `log1p` + z-score scaler fitted on training shops only.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -25,16 +40,40 @@ pub struct Scaler {
 impl Scaler {
     /// Fit from raw currency values.
     pub fn fit(raw: impl Iterator<Item = f64>) -> Self {
-        let logs: Vec<f64> = raw.map(|x| (1.0 + x.max(0.0)).ln()).collect();
+        Self::fit_logs(&raw.map(log1p_pos).collect::<Vec<f64>>())
+    }
+
+    /// Fit from already log-transformed values.
+    fn fit_logs(logs: &[f64]) -> Self {
         assert!(!logs.is_empty(), "Scaler::fit on empty data");
         let mean = logs.iter().sum::<f64>() / logs.len() as f64;
         let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        Self::from_moments(mean, var)
+    }
+
+    /// The shared tail of every fit path: population mean/variance (in f64)
+    /// → stored f32 scaler. [`build_dataset`] accumulates the same sums as
+    /// [`Scaler::fit_logs`] directly from its log arenas (identical
+    /// value order, identical reductions) and lands here, so the fused fit
+    /// is bit-identical to the iterator path — pinned by the
+    /// `fused_arena_fit_matches_scaler_fit` test.
+    fn from_moments(mean: f64, var: f64) -> Self {
         Self { mean: mean as f32, std: (var.sqrt() as f32).max(1e-3) }
     }
 
     /// Currency → normalised log space.
     pub fn normalize(&self, raw: f64) -> f32 {
-        (((1.0 + raw.max(0.0)).ln() as f32) - self.mean) / self.std
+        self.normalize_log(log1p_pos(raw))
+    }
+
+    /// `ln(1+raw)` → normalised log space. The shared tail of
+    /// [`Scaler::normalize`], exposed within the crate so the full build
+    /// can reuse logs it already computed for the scaler fits instead of
+    /// taking a second `ln` per cell (bit-identical: same log value through
+    /// the same expression).
+    #[inline]
+    pub(crate) fn normalize_log(&self, log: f64) -> f32 {
+        ((log as f32) - self.mean) / self.std
     }
 
     /// Normalised log space → currency.
@@ -71,6 +110,11 @@ pub struct Splits {
 
 /// Model-ready dataset: per-shop input window features and horizon targets,
 /// plus the graph-independent bookkeeping every model shares.
+///
+/// All feature columns are flat arenas indexed by shop id at fixed strides
+/// (shop `v`'s GMV series is `gmv_norm[v·T .. (v+1)·T]`, its temporal
+/// features `temporal[v·T·d_t .. (v+1)·T·d_t]` row-major `[T][d_t]`, and so
+/// on). Read them through [`Dataset::gmv_row`] and friends.
 #[derive(Clone, Debug)]
 pub struct Dataset {
     /// Number of shops.
@@ -79,17 +123,28 @@ pub struct Dataset {
     pub t: usize,
     /// Forecast horizon `T'`.
     pub horizon: usize,
-    /// Normalised GMV input series, `[N][T]`.
-    pub gmv_norm: Vec<Vec<f32>>,
-    /// Auxiliary temporal features per shop, each `[T, d_t]`.
-    pub temporal: Vec<Tensor>,
-    /// Static features per shop, each `[1, d_s]`.
-    pub statics: Vec<Tensor>,
-    /// Raw currency targets `[N][T']` (future months).
-    pub targets_raw: Vec<Vec<f64>>,
-    /// Model-space targets `[N][T']` for the MSE loss (positive log space,
-    /// see [`Scaler::normalize_pos`]).
-    pub targets_norm: Vec<Vec<f32>>,
+    /// Normalised GMV input series arena, `[N·T]`.
+    gmv_norm: Vec<f32>,
+    /// Scaler-dependent auxiliary temporal columns (log-orders,
+    /// log-customers), `[N·T·2]` row-major `[T][2]` per shop. The other
+    /// three temporal features are not stored per shop at all: sin/cos of
+    /// the month come from the shared [`Dataset::trig`] table (identical
+    /// for every shop) and the observed flag is derived from
+    /// [`Dataset::observed_len`] (observed months are a window suffix) —
+    /// see [`Dataset::temporal_at`]. Storing 2 of the 5 columns cuts the
+    /// dominant dataset arena to 40% without changing a single value the
+    /// model sees.
+    aux: Vec<f32>,
+    /// Month sin/cos table for the input window, `[T]` — shared by every
+    /// shop's temporal row.
+    trig: Vec<(f32, f32)>,
+    /// Static feature arena, `[N·d_s]`.
+    statics: Vec<f32>,
+    /// Raw currency target arena `[N·T']` (future months).
+    targets_raw: Vec<f64>,
+    /// Model-space target arena `[N·T']` for the MSE loss (positive log
+    /// space, see [`Scaler::normalize_pos`]).
+    targets_norm: Vec<f32>,
     /// Observed months inside the input window per shop (`T` minus leading
     /// zeros) — the Fig 3 grouping key.
     pub observed_len: Vec<usize>,
@@ -115,6 +170,11 @@ pub struct Dataset {
 /// Width of the auxiliary temporal feature vector:
 /// `[sin(month), cos(month), log-orders, log-customers, observed]`.
 pub const D_TEMPORAL: usize = 5;
+
+/// Stored (scaler-dependent) temporal columns per cell: log-orders and
+/// log-customers. The remaining `D_TEMPORAL - D_AUX` columns are
+/// synthesized on read (see [`Dataset::temporal_at`]).
+const D_AUX: usize = 2;
 
 /// Offset added to z-scored log targets so the model-space targets are
 /// positive (the paper's prediction head, Eq. 9, ends in a ReLU). Targets
@@ -143,44 +203,114 @@ pub fn build_dataset(world: &World) -> Dataset {
         test: ids[n_train + n_val..].to_vec(),
     };
 
-    // Scaler fitted on observed training cells of the input window only.
-    let scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
-        let shop = &world.shops[v];
-        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.gmv[m])
-    }));
-
-    // Secondary scalers for auxiliary magnitudes, also train-only.
-    let orders_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
-        let shop = &world.shops[v];
-        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.orders[m])
-    }));
-    let customers_scaler = Scaler::fit(splits.train.iter().flat_map(|&v| {
-        let shop = &world.shops[v];
-        (in_start..fut_start).filter(move |&m| m >= shop.opened).map(move |m| shop.customers[m])
-    }));
-
+    // Pass A — one sequential walk over the shops computes everything that
+    // does not need the fitted scalers: the log-domain input window of
+    // every shop (one interleaved `[N·T·3]` arena: gmv, orders, customers
+    // per cell), the static feature rows, the raw currency targets and
+    // the observed window lengths. `ln` dominates the build at world
+    // scale, and without the log arena each observed training cell would
+    // pay it twice — once in the scaler fit and again in `normalize` when
+    // the row is written. Unobserved cells stay 0.0 and are never read
+    // (the fit and the normalisation pass both start at the first
+    // observed cell).
+    let window = fut_start - in_start;
     let d_s = cfg.n_industries + cfg.n_regions + 2;
-    let mut gmv_norm = Vec::with_capacity(n);
-    let mut temporal = Vec::with_capacity(n);
-    let mut statics = Vec::with_capacity(n);
-    let mut targets_raw = Vec::with_capacity(n);
-    let mut targets_norm = Vec::with_capacity(n);
-    let mut observed_len = Vec::with_capacity(n);
-
+    let mut logs = vec![0.0f64; n * window * 3];
+    let mut statics = vec![0.0f32; n * d_s];
+    let mut targets_raw = vec![0.0f64; n * horizon];
+    let mut observed_len = vec![0usize; n];
     for v in 0..n {
-        let row = node_row(world, v, &scaler, &orders_scaler, &customers_scaler);
-        gmv_norm.push(row.series);
-        temporal.push(row.feats);
-        statics.push(row.stat);
-        targets_raw.push(row.raw);
-        targets_norm.push(row.norm);
-        observed_len.push(row.obs);
+        let shop = &world.shops[v];
+        let first = shop.opened.saturating_sub(in_start).min(window);
+        observed_len[v] = window - first;
+        for i in first..window {
+            let m = in_start + i;
+            let cell = (v * window + i) * 3;
+            logs[cell] = log1p_pos(shop.gmv[m]);
+            logs[cell + 1] = log1p_pos(shop.orders[m]);
+            logs[cell + 2] = log1p_pos(shop.customers[m]);
+        }
+        let stat = &mut statics[v * d_s..(v + 1) * d_s];
+        stat[shop.industry as usize] = 1.0;
+        stat[cfg.n_industries + shop.region as usize] = 1.0;
+        stat[cfg.n_industries + cfg.n_regions] =
+            if shop.role == Role::Supplier { 1.0 } else { 0.0 };
+        stat[cfg.n_industries + cfg.n_regions + 1] = observed_len[v].min(t) as f32 / t as f32;
+        for (h, m) in (fut_start..fut_start + horizon).enumerate() {
+            targets_raw[v * horizon + h] = shop.gmv[m];
+        }
     }
+
+    // Pass B — scalers fitted on observed training cells of the input
+    // window only: GMV plus the two auxiliary magnitudes, accumulated
+    // straight off the log arena in two walks over the (shuffled-order)
+    // training shops: sums for the means, then squared deviations. No
+    // gather copy. Each column's accumulator sees exactly the value
+    // sequence a `Scaler::fit` over that column's observed train cells
+    // would see (same shuffled shop order, same in-window order, same
+    // left-to-right f64 folds), so the scalers are bit-identical to three
+    // independent iterator fits — `fused_arena_fit_matches_scaler_fit`
+    // pins this.
+    let mut sums = [0.0f64; 3];
+    let mut count = 0usize;
+    for &v in &splits.train {
+        let first = window - observed_len[v];
+        for i in first..window {
+            let cell = (v * window + i) * 3;
+            sums[0] += logs[cell];
+            sums[1] += logs[cell + 1];
+            sums[2] += logs[cell + 2];
+        }
+        count += observed_len[v];
+    }
+    assert!(count > 0, "Scaler::fit on empty data");
+    let means = sums.map(|s| s / count as f64);
+    let mut var_sums = [0.0f64; 3];
+    for &v in &splits.train {
+        let first = window - observed_len[v];
+        for i in first..window {
+            let cell = (v * window + i) * 3;
+            let (g, o, c) = (logs[cell], logs[cell + 1], logs[cell + 2]);
+            var_sums[0] += (g - means[0]) * (g - means[0]);
+            var_sums[1] += (o - means[1]) * (o - means[1]);
+            var_sums[2] += (c - means[2]) * (c - means[2]);
+        }
+    }
+    let scaler = Scaler::from_moments(means[0], var_sums[0] / count as f64);
+    let orders_scaler = Scaler::from_moments(means[1], var_sums[1] / count as f64);
+    let customers_scaler = Scaler::from_moments(means[2], var_sums[2] / count as f64);
+
+    let mut gmv_norm = vec![0.0f32; n * t];
+    let mut aux = vec![0.0f32; n * t * D_AUX];
+    let mut targets_norm = vec![0.0f32; n * horizon];
+
+    // Pass C — normalised columns, streamed entirely from the arenas of
+    // pass A (no World access at all): the input series and auxiliary
+    // columns from the log arena, the model-space targets from the raw
+    // target arena (the same f64 values pass A copied out of the world,
+    // so `normalize_pos` sees bit-identical inputs). Unobserved cells
+    // keep their zero initialisation, matching `write_node_row`'s
+    // explicit zeros — `refresh_of_unmutated_world_is_identity` pins the
+    // build path against the refresh path.
+    for v in 0..n {
+        let first = window - observed_len[v];
+        for i in first..window {
+            let cell = (v * window + i) * 3;
+            gmv_norm[v * t + i] = scaler.normalize_log(logs[cell]);
+            aux[(v * t + i) * D_AUX] = orders_scaler.normalize_log(logs[cell + 1]);
+            aux[(v * t + i) * D_AUX + 1] = customers_scaler.normalize_log(logs[cell + 2]);
+        }
+        for h in 0..horizon {
+            targets_norm[v * horizon + h] = scaler.normalize_pos(targets_raw[v * horizon + h]);
+        }
+    }
+    drop(logs);
+    let trig = month_trig(cfg);
 
     let max_model_z = splits
         .train
         .iter()
-        .flat_map(|&v| targets_norm[v].iter().copied())
+        .flat_map(|&v| targets_norm[v * horizon..(v + 1) * horizon].iter().copied())
         .fold(TARGET_SHIFT, f32::max)
         + 1.0;
 
@@ -189,7 +319,8 @@ pub fn build_dataset(world: &World) -> Dataset {
         t,
         horizon,
         gmv_norm,
-        temporal,
+        aux,
+        trig,
         statics,
         targets_raw,
         targets_norm,
@@ -204,60 +335,66 @@ pub fn build_dataset(world: &World) -> Dataset {
     }
 }
 
-/// One shop's model-ready row: everything [`build_dataset`] derives per node.
-struct NodeRow {
-    series: Vec<f32>,
-    feats: Tensor,
-    stat: Tensor,
-    raw: Vec<f64>,
-    norm: Vec<f32>,
-    obs: usize,
+/// Sin/cos month-of-year table for the input window. Identical for every
+/// shop (all rows map the same `in_start..fut_start` months), so it is
+/// computed once per (re)build instead of twice per window row per shop.
+fn month_trig(cfg: &WorldConfig) -> Vec<(f32, f32)> {
+    (cfg.input_start()..cfg.horizon_start())
+        .map(|m| {
+            let moy = month_of_year(m) as f32;
+            let angle = std::f32::consts::TAU * moy / 12.0;
+            (angle.sin(), angle.cos())
+        })
+        .collect()
 }
 
 /// Compute one shop's dataset row from the world under the given (already
-/// fitted) scalers. Shared between the full build and the incremental
-/// refresh paths, so a refreshed row is bit-identical to a rebuilt one by
-/// construction.
-fn node_row(
+/// fitted) scalers, writing into the dataset's arena slices. This is the
+/// incremental-refresh row path; the full build streams the same values
+/// through its arena passes, and the
+/// `refresh_of_unmutated_world_is_identity` test pins the two paths to
+/// bit-identical output. Every slice element is overwritten (statics via
+/// an explicit fill), so stale refresh targets cannot leak through.
+/// Returns the observed window length.
+#[allow(clippy::too_many_arguments)]
+fn write_node_row(
     world: &World,
     v: usize,
     scaler: &Scaler,
     orders_scaler: &Scaler,
     customers_scaler: &Scaler,
-) -> NodeRow {
+    series: &mut [f32],
+    aux: &mut [f32],
+    stat: &mut [f32],
+    raw: &mut [f64],
+    norm: &mut [f32],
+) -> usize {
     let cfg = &world.config;
     let t = cfg.input_window;
     let in_start = cfg.input_start();
     let fut_start = cfg.horizon_start();
-    let d_s = cfg.n_industries + cfg.n_regions + 2;
     let shop = &world.shops[v];
-    let mut series = Vec::with_capacity(t);
-    let mut feats = Tensor::zeros(vec![t, D_TEMPORAL]);
     for (row, m) in (in_start..fut_start).enumerate() {
         let observed = m >= shop.opened;
-        series.push(if observed { scaler.normalize(shop.gmv[m]) } else { 0.0 });
-        let moy = month_of_year(m) as f32;
-        *feats.at_mut(row, 0) = (std::f32::consts::TAU * moy / 12.0).sin();
-        *feats.at_mut(row, 1) = (std::f32::consts::TAU * moy / 12.0).cos();
-        *feats.at_mut(row, 2) =
-            if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
-        *feats.at_mut(row, 3) =
-            if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
-        *feats.at_mut(row, 4) = if observed { 1.0 } else { 0.0 };
+        series[row] = if observed { scaler.normalize(shop.gmv[m]) } else { 0.0 };
+        let a = &mut aux[row * D_AUX..(row + 1) * D_AUX];
+        a[0] = if observed { orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
+        a[1] = if observed { customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
     }
-    let mut stat = Tensor::zeros(vec![1, d_s]);
-    *stat.at_mut(0, shop.industry as usize) = 1.0;
-    *stat.at_mut(0, cfg.n_industries + shop.region as usize) = 1.0;
-    *stat.at_mut(0, cfg.n_industries + cfg.n_regions) =
-        if shop.role == Role::Supplier { 1.0 } else { 0.0 };
+    stat.fill(0.0);
+    stat[shop.industry as usize] = 1.0;
+    stat[cfg.n_industries + shop.region as usize] = 1.0;
+    stat[cfg.n_industries + cfg.n_regions] = if shop.role == Role::Supplier { 1.0 } else { 0.0 };
     // Normalised age (how much of the window is observed).
     let obs = (fut_start - in_start).saturating_sub(shop.opened.saturating_sub(in_start));
     let obs = obs.min(t);
-    *stat.at_mut(0, cfg.n_industries + cfg.n_regions + 1) = obs as f32 / t as f32;
+    stat[cfg.n_industries + cfg.n_regions + 1] = obs as f32 / t as f32;
 
-    let raw: Vec<f64> = (fut_start..fut_start + cfg.horizon).map(|m| shop.gmv[m]).collect();
-    let norm: Vec<f32> = raw.iter().map(|&x| scaler.normalize_pos(x)).collect();
-    NodeRow { series, feats, stat, raw, norm, obs }
+    for (h, m) in (fut_start..fut_start + cfg.horizon).enumerate() {
+        raw[h] = shop.gmv[m];
+        norm[h] = scaler.normalize_pos(shop.gmv[m]);
+    }
+    obs
 }
 
 /// Refresh a dataset after world mutations, recomputing **only** the rows in
@@ -280,27 +417,34 @@ pub fn refresh_dataset(world: &World, prev: &Dataset, dirty: &[u32]) -> Dataset 
     assert!(n >= prev.n, "refresh_dataset: worlds only grow (n={n} < prev {})", prev.n);
     let mut ds = prev.clone();
     ds.n = n;
+    let (t, horizon, d_s) = (ds.t, ds.horizon, ds.d_s);
+    let ta = t * D_AUX;
+    ds.gmv_norm.resize(n * t, 0.0);
+    ds.aux.resize(n * ta, 0.0);
+    ds.statics.resize(n * d_s, 0.0);
+    ds.targets_raw.resize(n * horizon, 0.0);
+    ds.targets_norm.resize(n * horizon, 0.0);
+    ds.observed_len.resize(n, 0);
     for v in prev.n..n {
         ds.splits.test.push(v);
     }
+    let (scaler, orders_scaler, customers_scaler) =
+        (ds.scaler, ds.orders_scaler, ds.customers_scaler);
     let recompute = dirty.iter().map(|&v| v as usize).filter(|&v| v < prev.n).chain(prev.n..n);
     for v in recompute {
-        let row = node_row(world, v, &ds.scaler, &ds.orders_scaler, &ds.customers_scaler);
-        if v < prev.n {
-            ds.gmv_norm[v] = row.series;
-            ds.temporal[v] = row.feats;
-            ds.statics[v] = row.stat;
-            ds.targets_raw[v] = row.raw;
-            ds.targets_norm[v] = row.norm;
-            ds.observed_len[v] = row.obs;
-        } else {
-            ds.gmv_norm.push(row.series);
-            ds.temporal.push(row.feats);
-            ds.statics.push(row.stat);
-            ds.targets_raw.push(row.raw);
-            ds.targets_norm.push(row.norm);
-            ds.observed_len.push(row.obs);
-        }
+        let obs = write_node_row(
+            world,
+            v,
+            &scaler,
+            &orders_scaler,
+            &customers_scaler,
+            &mut ds.gmv_norm[v * t..(v + 1) * t],
+            &mut ds.aux[v * ta..(v + 1) * ta],
+            &mut ds.statics[v * d_s..(v + 1) * d_s],
+            &mut ds.targets_raw[v * horizon..(v + 1) * horizon],
+            &mut ds.targets_norm[v * horizon..(v + 1) * horizon],
+        );
+        ds.observed_len[v] = obs;
     }
     ds
 }
@@ -320,23 +464,128 @@ pub fn refresh_dataset_full(world: &World, prev: &Dataset) -> Dataset {
 /// whose row did not move cannot produce a different embedding (embeddings
 /// are pure functions of the row and the kernels are deterministic), so its
 /// cached entries can be carried into the next generation untouched.
-/// Comparison is bitwise (`f32`/`f64` equality), so `NaN`s compare unequal
-/// and force a recompute — the conservative direction.
+/// Comparison is bitwise (`f32`/`f64` equality) over the arena row slices,
+/// so `NaN`s compare unequal and force a recompute — the conservative
+/// direction.
 pub fn node_row_unchanged(a: &Dataset, b: &Dataset, v: usize) -> bool {
-    a.gmv_norm[v] == b.gmv_norm[v]
+    // The stored aux columns plus `observed_len` fully determine the
+    // temporal row (sin/cos come from the shared trig table, the observed
+    // flag from `observed_len`), so comparing them covers all of `d_t`.
+    a.gmv_row(v) == b.gmv_row(v)
         && a.observed_len[v] == b.observed_len[v]
-        && a.temporal[v].shape() == b.temporal[v].shape()
-        && a.temporal[v].data() == b.temporal[v].data()
-        && a.statics[v].shape() == b.statics[v].shape()
-        && a.statics[v].data() == b.statics[v].data()
-        && a.targets_raw[v] == b.targets_raw[v]
-        && a.targets_norm[v] == b.targets_norm[v]
+        && a.aux_row(v) == b.aux_row(v)
+        && a.statics_row(v) == b.statics_row(v)
+        && a.targets_raw_row(v) == b.targets_raw_row(v)
+        && a.targets_norm_row(v) == b.targets_norm_row(v)
 }
 
 impl Dataset {
+    /// Normalised GMV input series of shop `v` (length `T`).
+    #[inline]
+    pub fn gmv_row(&self, v: usize) -> &[f32] {
+        &self.gmv_norm[v * self.t..(v + 1) * self.t]
+    }
+
+    /// Mutable view of shop `v`'s input series (ablations and tests that
+    /// perturb inputs in place).
+    #[inline]
+    pub fn gmv_row_mut(&mut self, v: usize) -> &mut [f32] {
+        &mut self.gmv_norm[v * self.t..(v + 1) * self.t]
+    }
+
+    /// Stored auxiliary temporal columns of shop `v`: `T·2` values,
+    /// row-major `[T][2]` (log-orders, log-customers).
+    #[inline]
+    fn aux_row(&self, v: usize) -> &[f32] {
+        let ta = self.t * D_AUX;
+        &self.aux[v * ta..(v + 1) * ta]
+    }
+
+    /// Temporal feature `k` of input-window row `row` for shop `v`.
+    /// Columns 0/1 (month sin/cos) come from the shared trig table,
+    /// columns 2/3 from the stored aux arena, and column 4 (observed
+    /// flag) from `observed_len` — observed months are always a suffix of
+    /// the input window, so `row` is observed iff `row ≥ T − observed`.
+    #[inline]
+    pub fn temporal_at(&self, v: usize, row: usize, k: usize) -> f32 {
+        debug_assert!(row < self.t && k < self.d_t);
+        match k {
+            0 => self.trig[row].0,
+            1 => self.trig[row].1,
+            2 | 3 => self.aux[(v * self.t + row) * D_AUX + (k - 2)],
+            _ => {
+                if row >= self.t - self.observed_len[v].min(self.t) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Materialise the full `[T][d_t]` temporal feature row of shop `v`
+    /// into `out` (length `T·d_t`) — the layout [`Dataset::temporal_at`]
+    /// indexes into. Model input builders write this straight into pooled
+    /// tape buffers (`Graph::constant_fill`), so dropping the per-shop
+    /// temporal arena did not add a heap allocation to the hot path.
+    pub fn write_temporal_row(&self, v: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.t * self.d_t);
+        let first = self.t - self.observed_len[v].min(self.t);
+        for row in 0..self.t {
+            let o = &mut out[row * D_TEMPORAL..(row + 1) * D_TEMPORAL];
+            let (sin_m, cos_m) = self.trig[row];
+            o[0] = sin_m;
+            o[1] = cos_m;
+            o[2] = self.aux[(v * self.t + row) * D_AUX];
+            o[3] = self.aux[(v * self.t + row) * D_AUX + 1];
+            o[4] = if row >= first { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Static features of shop `v` (length `d_s`).
+    #[inline]
+    pub fn statics_row(&self, v: usize) -> &[f32] {
+        &self.statics[v * self.d_s..(v + 1) * self.d_s]
+    }
+
+    /// Raw currency targets of shop `v` (length `T'`).
+    #[inline]
+    pub fn targets_raw_row(&self, v: usize) -> &[f64] {
+        &self.targets_raw[v * self.horizon..(v + 1) * self.horizon]
+    }
+
+    /// Model-space targets of shop `v` (length `T'`).
+    #[inline]
+    pub fn targets_norm_row(&self, v: usize) -> &[f32] {
+        &self.targets_norm[v * self.horizon..(v + 1) * self.horizon]
+    }
+
+    /// Approximate resident heap bytes of the feature store: every heap
+    /// block's `capacity × element size` plus a 16-byte per-allocation
+    /// overhead (allocator header/rounding). Inline struct headers are
+    /// counted as part of their parent block. The world-scale bench tracks
+    /// this figure versus `n_shops`; the flat arenas make it six
+    /// allocations plus the splits regardless of `N`.
+    pub fn approx_heap_bytes(&self) -> usize {
+        const OVH: usize = 16;
+        fn vec_bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>() + OVH
+        }
+        vec_bytes(&self.gmv_norm)
+            + vec_bytes(&self.aux)
+            + vec_bytes(&self.trig)
+            + vec_bytes(&self.statics)
+            + vec_bytes(&self.targets_raw)
+            + vec_bytes(&self.targets_norm)
+            + vec_bytes(&self.observed_len)
+            + vec_bytes(&self.splits.train)
+            + vec_bytes(&self.splits.val)
+            + vec_bytes(&self.splits.test)
+    }
+
     /// Normalised-target tensor `[1, T']` for the loss.
     pub fn target_tensor(&self, v: usize) -> Tensor {
-        Tensor::from_vec(vec![1, self.horizon], self.targets_norm[v].clone())
+        Tensor::from_vec(vec![1, self.horizon], self.targets_norm_row(v).to_vec())
     }
 
     /// Map a model-space `[1, T']` prediction back to currency per month.
@@ -409,11 +658,18 @@ mod tests {
     fn shapes_consistent() {
         let (world, ds) = dataset();
         assert_eq!(ds.n, world.shops.len());
+        let mut trow = vec![0.0f32; ds.t * ds.d_t];
         for v in 0..ds.n {
-            assert_eq!(ds.gmv_norm[v].len(), ds.t);
-            assert_eq!(ds.temporal[v].shape(), &[ds.t, ds.d_t]);
-            assert_eq!(ds.statics[v].shape(), &[1, ds.d_s]);
-            assert_eq!(ds.targets_raw[v].len(), ds.horizon);
+            assert_eq!(ds.gmv_row(v).len(), ds.t);
+            ds.write_temporal_row(v, &mut trow);
+            for row in 0..ds.t {
+                for k in 0..ds.d_t {
+                    assert_eq!(trow[row * ds.d_t + k], ds.temporal_at(v, row, k));
+                }
+            }
+            assert_eq!(ds.statics_row(v).len(), ds.d_s);
+            assert_eq!(ds.targets_raw_row(v).len(), ds.horizon);
+            assert_eq!(ds.targets_norm_row(v).len(), ds.horizon);
         }
     }
 
@@ -437,10 +693,10 @@ mod tests {
             for row in 0..ds.t {
                 let m = in_start + row;
                 if m < shop.opened {
-                    assert_eq!(ds.gmv_norm[v][row], 0.0);
-                    assert_eq!(ds.temporal[v].at(row, 4), 0.0);
+                    assert_eq!(ds.gmv_row(v)[row], 0.0);
+                    assert_eq!(ds.temporal_at(v, row, 4), 0.0);
                 } else {
-                    assert_eq!(ds.temporal[v].at(row, 4), 1.0);
+                    assert_eq!(ds.temporal_at(v, row, 4), 1.0);
                 }
             }
         }
@@ -450,10 +706,10 @@ mod tests {
     fn static_one_hots_sum_to_two_plus_extras() {
         let (world, ds) = dataset();
         for v in 0..ds.n {
-            let s = &ds.statics[v];
-            let ind_sum: f32 = (0..world.config.n_industries).map(|i| s.at(0, i)).sum();
+            let s = ds.statics_row(v);
+            let ind_sum: f32 = s[..world.config.n_industries].iter().sum();
             let reg_sum: f32 =
-                (0..world.config.n_regions).map(|i| s.at(0, world.config.n_industries + i)).sum();
+                s[world.config.n_industries..][..world.config.n_regions].iter().sum();
             assert_eq!(ind_sum, 1.0);
             assert_eq!(reg_sum, 1.0);
         }
@@ -465,8 +721,51 @@ mod tests {
         let fut = world.config.horizon_start();
         for v in 0..ds.n.min(10) {
             for h in 0..ds.horizon {
-                assert_eq!(ds.targets_raw[v][h], world.shops[v].gmv[fut + h]);
+                assert_eq!(ds.targets_raw_row(v)[h], world.shops[v].gmv[fut + h]);
             }
+        }
+    }
+
+    /// The month sin/cos table must reproduce the per-row trig calls it
+    /// hoisted bit-for-bit (same f32 expression per month index).
+    #[test]
+    fn month_trig_matches_per_row_expression() {
+        let cfg = WorldConfig::tiny();
+        let trig = month_trig(&cfg);
+        for (row, m) in (cfg.input_start()..cfg.horizon_start()).enumerate() {
+            let moy = month_of_year(m) as f32;
+            assert_eq!(trig[row].0.to_bits(), (std::f32::consts::TAU * moy / 12.0).sin().to_bits());
+            assert_eq!(trig[row].1.to_bits(), (std::f32::consts::TAU * moy / 12.0).cos().to_bits());
+        }
+    }
+
+    /// The fused arena fit in `build_dataset` (sums accumulated straight
+    /// off the log arenas, no gather copy) must produce bit-identical
+    /// scalers to the public `Scaler::fit` iterator path over the same
+    /// observed training cells in the same shuffled order.
+    #[test]
+    fn fused_arena_fit_matches_scaler_fit() {
+        let (world, ds) = generate_dataset(WorldConfig { n_shops: 300, ..WorldConfig::default() });
+        let in_start = world.config.input_start();
+        let fut_start = world.config.horizon_start();
+        let (mut gmv, mut ord, mut cust) = (Vec::new(), Vec::new(), Vec::new());
+        for &v in &ds.splits.train {
+            let shop = &world.shops[v];
+            for m in in_start..fut_start {
+                if m >= shop.opened {
+                    gmv.push(shop.gmv[m]);
+                    ord.push(shop.orders[m]);
+                    cust.push(shop.customers[m]);
+                }
+            }
+        }
+        for (got, expect) in [
+            (ds.scaler, Scaler::fit(gmv.into_iter())),
+            (ds.orders_scaler, Scaler::fit(ord.into_iter())),
+            (ds.customers_scaler, Scaler::fit(cust.into_iter())),
+        ] {
+            assert_eq!(got.mean.to_bits(), expect.mean.to_bits());
+            assert_eq!(got.std.to_bits(), expect.std.to_bits());
         }
     }
 
@@ -485,11 +784,14 @@ mod tests {
 
     fn datasets_bit_identical(a: &Dataset, b: &Dataset) {
         assert_eq!(a.n, b.n);
+        let (mut ta, mut tb) = (vec![0.0f32; a.t * a.d_t], vec![0.0f32; b.t * b.d_t]);
         for v in 0..a.n {
-            assert_eq!(a.gmv_norm[v], b.gmv_norm[v], "gmv_norm row {v}");
-            assert!(a.temporal[v] == b.temporal[v], "temporal row {v}");
-            assert!(a.statics[v] == b.statics[v], "statics row {v}");
-            assert_eq!(a.targets_norm[v], b.targets_norm[v], "targets row {v}");
+            assert_eq!(a.gmv_row(v), b.gmv_row(v), "gmv_norm row {v}");
+            a.write_temporal_row(v, &mut ta);
+            b.write_temporal_row(v, &mut tb);
+            assert_eq!(ta, tb, "temporal row {v}");
+            assert_eq!(a.statics_row(v), b.statics_row(v), "statics row {v}");
+            assert_eq!(a.targets_norm_row(v), b.targets_norm_row(v), "targets row {v}");
             assert_eq!(a.observed_len[v], b.observed_len[v], "observed_len row {v}");
         }
         assert_eq!(a.max_model_z, b.max_model_z);
@@ -531,13 +833,13 @@ mod tests {
         assert_eq!(delta.n, ds.n + 1);
         assert!(delta.splits.test.contains(&new_id));
         assert_eq!(delta.observed_len[new_id], 0);
-        assert!(delta.gmv_norm[new_id].iter().all(|&z| z == 0.0));
+        assert!(delta.gmv_row(new_id).iter().all(|&z| z == 0.0));
         // Frozen statistics carried over from the pre-mutation build.
         assert_eq!(delta.scaler.mean, ds.scaler.mean);
         assert_eq!(delta.max_model_z, ds.max_model_z);
         // And the dirty row actually changed, inputs and targets both.
-        assert_ne!(delta.gmv_norm[2], ds.gmv_norm[2]);
-        assert_ne!(delta.targets_norm[2], ds.targets_norm[2]);
+        assert_ne!(delta.gmv_row(2), ds.gmv_row(2));
+        assert_ne!(delta.targets_norm_row(2), ds.targets_norm_row(2));
     }
 
     #[test]
@@ -551,9 +853,9 @@ mod tests {
             .collect();
         world.record_sales(2, &window);
         let stale = refresh_dataset(&world, &ds, &[]);
-        assert_eq!(stale.gmv_norm[2], ds.gmv_norm[2]);
+        assert_eq!(stale.gmv_row(2), ds.gmv_row(2));
         let fresh = refresh_dataset(&world, &ds, &[2]);
-        assert_ne!(fresh.gmv_norm[2], ds.gmv_norm[2]);
+        assert_ne!(fresh.gmv_row(2), ds.gmv_row(2));
     }
 
     /// `node_row_unchanged` detects exactly the rows a refresh moved: the

@@ -173,38 +173,7 @@ impl World {
         }
 
         // --- Owner clusters ------------------------------------------------
-        let mut owner_of = vec![u32::MAX; n];
-        let mut next_owner = 0u32;
-        let mut owner_factor: Vec<OwnerFactor> = Vec::new();
-        let mut i = 0;
-        while i < n {
-            if owner_of[i] != u32::MAX {
-                i += 1;
-                continue;
-            }
-            let owner = next_owner;
-            next_owner += 1;
-            owner_factor.push(OwnerFactor {
-                festival_affinity: rng.gen_range(0.2..1.0),
-                base_mood: rng.gen_range(-0.1..0.1),
-            });
-            owner_of[i] = owner;
-            if rng.gen_bool(config.owner_cluster_fraction) {
-                // Pull in additional shops for this owner.
-                let extra = ((config.owner_cluster_size - 1.0).max(0.0) * rng.gen_range(0.5..1.5))
-                    .round() as usize;
-                let mut added = 0;
-                let mut j = i + 1;
-                while j < n && added < extra {
-                    if owner_of[j] == u32::MAX && rng.gen_bool(0.5) {
-                        owner_of[j] = owner;
-                        added += 1;
-                    }
-                    j += 1;
-                }
-            }
-            i += 1;
-        }
+        let (owner_of, owner_factor) = assign_owner_clusters(&mut rng, n, &config);
 
         // --- Ages (temporal deficiency) ------------------------------------
         // A fraction of shops is old (full history); the rest opened recently
@@ -379,10 +348,77 @@ impl IndustryFactor {
 }
 
 /// Per-owner behavioural factor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 struct OwnerFactor {
     festival_affinity: f64,
     base_mood: f64,
+}
+
+/// Assign shops to owner clusters.
+///
+/// Semantics (pinned by `owner_clusters_match_linear_rescan_reference`):
+/// scan shops in order; each still-unassigned shop seeds a new owner, then
+/// with probability `owner_cluster_fraction` pulls in later shops, flipping
+/// one fair coin per *unassigned* candidate in increasing index order until
+/// the cluster budget is met. The RNG draw sequence is exactly that of the
+/// naive linear rescan, but already-assigned candidates are skipped via
+/// path-compressed next-unassigned pointers instead of being re-walked for
+/// every cluster — near-O(n) total instead of O(n · clusters).
+fn assign_owner_clusters(
+    rng: &mut impl Rng,
+    n: usize,
+    config: &WorldConfig,
+) -> (Vec<u32>, Vec<OwnerFactor>) {
+    let mut owner_of = vec![u32::MAX; n];
+    let mut owner_factor: Vec<OwnerFactor> = Vec::new();
+    // `next_free[j]` points toward the smallest unassigned index >= j. Roots
+    // (`next_free[j] == j`) are unassigned slots, with `n` as the sentinel
+    // root; assigning slot `j` links it to `j + 1`.
+    let mut next_free: Vec<u32> = (0..=n as u32).collect();
+    fn find(next_free: &mut [u32], start: usize) -> usize {
+        let mut root = start;
+        while next_free[root] as usize != root {
+            root = next_free[root] as usize;
+        }
+        let mut j = start;
+        while next_free[j] as usize != j {
+            let step = next_free[j] as usize;
+            next_free[j] = root as u32;
+            j = step;
+        }
+        root
+    }
+    let mut i = 0;
+    while i < n {
+        if owner_of[i] != u32::MAX {
+            i += 1;
+            continue;
+        }
+        let owner = owner_factor.len() as u32;
+        owner_factor.push(OwnerFactor {
+            festival_affinity: rng.gen_range(0.2..1.0),
+            base_mood: rng.gen_range(-0.1..0.1),
+        });
+        owner_of[i] = owner;
+        next_free[i] = (i + 1) as u32;
+        if rng.gen_bool(config.owner_cluster_fraction) {
+            // Pull in additional shops for this owner.
+            let extra = ((config.owner_cluster_size - 1.0).max(0.0) * rng.gen_range(0.5..1.5))
+                .round() as usize;
+            let mut added = 0;
+            let mut j = find(&mut next_free, i + 1);
+            while j < n && added < extra {
+                if rng.gen_bool(0.5) {
+                    owner_of[j] = owner;
+                    next_free[j] = (j + 1) as u32;
+                    added += 1;
+                }
+                j = find(&mut next_free, j + 1);
+            }
+        }
+        i += 1;
+    }
+    (owner_of, owner_factor)
 }
 
 /// Small-mean integer sample approximating a Poisson draw (exact enough for
@@ -568,6 +604,80 @@ mod tests {
         }
         // Cap 0 must yield nothing; unbounded yields every cross-role pair.
         assert!(w.mining_candidates(0).is_empty());
+    }
+
+    /// Reference owner clustering: the original O(n · clusters) linear
+    /// rescan, kept verbatim so the skip-pointer version is pinned to the
+    /// exact same RNG draw sequence (worlds feed the golden predictions, so
+    /// the stream must not move).
+    fn assign_owner_clusters_linear_rescan(
+        rng: &mut impl Rng,
+        n: usize,
+        config: &WorldConfig,
+    ) -> (Vec<u32>, Vec<OwnerFactor>) {
+        let mut owner_of = vec![u32::MAX; n];
+        let mut next_owner = 0u32;
+        let mut owner_factor: Vec<OwnerFactor> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            if owner_of[i] != u32::MAX {
+                i += 1;
+                continue;
+            }
+            let owner = next_owner;
+            next_owner += 1;
+            owner_factor.push(OwnerFactor {
+                festival_affinity: rng.gen_range(0.2..1.0),
+                base_mood: rng.gen_range(-0.1..0.1),
+            });
+            owner_of[i] = owner;
+            if rng.gen_bool(config.owner_cluster_fraction) {
+                let extra = ((config.owner_cluster_size - 1.0).max(0.0) * rng.gen_range(0.5..1.5))
+                    .round() as usize;
+                let mut added = 0;
+                let mut j = i + 1;
+                while j < n && added < extra {
+                    if owner_of[j] == u32::MAX && rng.gen_bool(0.5) {
+                        owner_of[j] = owner;
+                        added += 1;
+                    }
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+        (owner_of, owner_factor)
+    }
+
+    #[test]
+    fn owner_clusters_match_linear_rescan_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Sweep seeds, sizes and clustering aggressiveness; compare the
+        // assignment, the factors, and the RNG state afterwards (the whole
+        // rest of world generation draws from the same stream).
+        for seed in [0u64, 7, 9, 11, 42] {
+            for (n, fraction, size) in
+                [(1, 0.35, 3.0), (50, 0.35, 3.0), (500, 0.9, 12.0), (300, 0.0, 3.0)]
+            {
+                let config = WorldConfig {
+                    n_shops: n,
+                    owner_cluster_fraction: fraction,
+                    owner_cluster_size: size,
+                    seed,
+                    ..WorldConfig::default()
+                };
+                let mut rng_fast = StdRng::seed_from_u64(seed);
+                let mut rng_ref = StdRng::seed_from_u64(seed);
+                let fast = assign_owner_clusters(&mut rng_fast, n, &config);
+                let reference = assign_owner_clusters_linear_rescan(&mut rng_ref, n, &config);
+                assert_eq!(fast.0, reference.0, "owner_of diverges (seed {seed}, n {n})");
+                assert_eq!(fast.1, reference.1, "owner factors diverge (seed {seed}, n {n})");
+                let after_fast: Vec<u64> = (0..8).map(|_| rng_fast.gen()).collect();
+                let after_ref: Vec<u64> = (0..8).map(|_| rng_ref.gen()).collect();
+                assert_eq!(after_fast, after_ref, "RNG stream moved (seed {seed}, n {n})");
+            }
+        }
     }
 
     #[test]

@@ -188,6 +188,16 @@ impl Graph {
         self.push(v, vec![], None)
     }
 
+    /// Insert a constant leaf of `shape` whose pooled buffer is written by
+    /// `fill` — for values that must be decoded into the tape (e.g. a
+    /// quantized cache entry) without a staging allocation. `fill` receives
+    /// the whole buffer and must write every element.
+    pub fn constant_fill(&mut self, shape: &[usize], fill: impl FnOnce(&mut [f32])) -> VarId {
+        let mut v = self.pool.alloc(shape);
+        fill(v.data_mut());
+        self.push(v, vec![], None)
+    }
+
     /// Insert a trainable leaf identified by an external `key` (typically a
     /// `ParamStore` slot). The gradient for this leaf can be retrieved with
     /// [`Graph::param_grads`] after [`Graph::backward`].

@@ -40,7 +40,7 @@ fn main() {
     let shops: Vec<usize> = ds.splits.test.iter().take(3).copied().collect();
     let preds = predict_nodes(&model, &ds, &world.graph, &shops, 7, 4);
     for p in preds {
-        let actual = &ds.targets_raw[p.node];
+        let actual = ds.targets_raw_row(p.node);
         println!("\nshop {} (observed {} of {} months):", p.node, ds.observed_len[p.node], ds.t);
         for h in 0..ds.horizon {
             println!(

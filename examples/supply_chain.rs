@@ -69,7 +69,7 @@ fn main() {
     println!("\nyoung retailers (observed < 8 months) forecast via their suppliers:");
     let preds = predict_nodes(&model, &ds, &world.graph, &young_retailers, 3, 4);
     for p in preds {
-        let actual: f64 = ds.targets_raw[p.node].iter().sum();
+        let actual: f64 = ds.targets_raw_row(p.node).iter().sum();
         let predicted: f64 = p.currency.iter().sum();
         let suppliers = world
             .graph

@@ -46,7 +46,7 @@ fn gaia_beats_persistence_after_short_training() {
             persistence(&hist, ds.horizon)
         })
         .collect();
-    let actual: Vec<Vec<f64>> = nodes.iter().map(|&v| ds.targets_raw[v].clone()).collect();
+    let actual: Vec<Vec<f64>> = nodes.iter().map(|&v| ds.targets_raw_row(v).to_vec()).collect();
 
     let gaia_m: Metrics = metrics_overall(&gaia_preds, &actual);
     let naive_m: Metrics = metrics_overall(&naive, &actual);

@@ -9,6 +9,21 @@ use gaia_synth::{generate_dataset, WorldConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// Offline-vs-online parity predicate: bitwise on the default f32 cache
+/// tier. Under `embed-f16` the server's publish-time cache quantises to
+/// binary16, so the served answer may differ from the uncached offline pass
+/// by the documented ~2^-11-relative budget (amplified through the network).
+fn parity(got: &[f32], want: &[f32]) -> bool {
+    got.len() == want.len()
+        && got.iter().zip(want).all(|(g, w)| {
+            if cfg!(feature = "embed-f16") {
+                (g - w).abs() <= 5e-3 * w.abs().max(1.0)
+            } else {
+                g == w
+            }
+        })
+}
+
 #[test]
 fn mined_relations_recover_true_supply_links() {
     let (world, _) =
@@ -81,7 +96,13 @@ fn offline_online_prediction_parity() {
     let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
     for o in offline {
         let online = server.predict_one(o.node);
-        assert_eq!(o.model_space, online.model_space, "parity broke for shop {}", o.node);
+        assert!(
+            parity(&online.model_space, &o.model_space),
+            "parity broke for shop {}: {:?} vs {:?}",
+            o.node,
+            online.model_space,
+            o.model_space
+        );
     }
 }
 
@@ -132,7 +153,7 @@ fn serving_survives_hot_swap_under_stream_load() {
                 for _ in 0..40 {
                     let pred = ctx.predict(probe);
                     assert!(
-                        expected_ref.contains(&pred.model_space),
+                        expected_ref.iter().any(|e| parity(&pred.model_space, e)),
                         "answer matches no published generation (torn snapshot?)"
                     );
                 }
@@ -148,7 +169,7 @@ fn serving_survives_hot_swap_under_stream_load() {
     let (preds, stats) = server.serve_stream(&shops, 3);
     assert_eq!(preds.len(), shops.len());
     assert_eq!(preds[probe].node, probe, "results come back in request order");
-    assert_eq!(preds[probe].model_space, expected[1], "served answer matches generation 2");
+    assert!(parity(&preds[probe].model_space, &expected[1]), "served answer matches generation 2");
     assert_eq!(stats.requests, 30);
     assert_eq!(stats.per_worker.len(), 3);
     assert_eq!(stats.per_worker.iter().sum::<usize>(), 30);

@@ -1,11 +1,15 @@
 //! Property-based tests over the core data structures and numerical
 //! invariants, spanning several crates.
 
+use gaia_core::half::{f16_to_f32, f32_to_f16};
 use gaia_core::trainer::{predict_batch_with, predict_one_with, InferenceScratch};
 use gaia_core::{Gaia, GaiaConfig};
 use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
 use gaia_serving::{ModelArtifact, ModelServer};
-use gaia_synth::{generate_dataset, MonthlySales, NewShop, Role, Scaler, World, WorldConfig};
+use gaia_synth::{
+    build_dataset, generate_dataset, month_of_year, MonthlySales, NewShop, Role, Scaler, World,
+    WorldConfig, D_TEMPORAL,
+};
 use gaia_tensor::kernels::{
     attention_probs_causal_into, attention_scores_into, conv1d_fused_into, matmul_batched_into,
     matmul_into, matmul_naive_into, matmul_nt_into, matmul_strided_into, matmul_tn_into,
@@ -702,6 +706,133 @@ proptest! {
                 prop_assert_eq!(&d.model_space, &f.model_space,
                     "shop {} diverged bitwise on the scalar build", shop);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// LAYOUT PARITY — the flat-arena `Dataset` must be an invisible
+    /// storage change: for random worlds, every row read through the
+    /// accessors is **bit-identical** to a nested per-shop reference
+    /// computed here value-by-value from the world (per-shop `Vec`s, the
+    /// public `Scaler` API, the pre-refactor formulas). This pins the
+    /// arena strides, the fused scaler fit, the shared trig table and the
+    /// synthesized observed flag all at once — any drift in how the flat
+    /// layout stores or reconstructs a value fails a `to_bits` compare.
+    #[test]
+    fn flat_layout_matches_nested_reference(
+        world_seed in 0u64..10_000,
+        n_shops in 30usize..90,
+    ) {
+        let world =
+            World::generate(WorldConfig { n_shops, seed: world_seed, ..WorldConfig::tiny() });
+        let ds = build_dataset(&world);
+        let cfg = &world.config;
+        let (in_start, fut_start) = (cfg.input_start(), cfg.horizon_start());
+        let t = cfg.input_window;
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+
+        // The nested layout fitted scalers by gathering observed training
+        // cells into per-column Vecs and running the public iterator fit.
+        // The flat build accumulates the same moments straight off its log
+        // arena — the fitted parameters must not move by a single bit.
+        let mut gmv_cells = Vec::new();
+        let mut ord_cells = Vec::new();
+        let mut cus_cells = Vec::new();
+        for &v in &ds.splits.train {
+            let shop = &world.shops[v];
+            for m in in_start..fut_start {
+                if m >= shop.opened {
+                    gmv_cells.push(shop.gmv[m]);
+                    ord_cells.push(shop.orders[m]);
+                    cus_cells.push(shop.customers[m]);
+                }
+            }
+        }
+        for (fitted, stored) in [
+            (Scaler::fit(gmv_cells.into_iter()), ds.scaler),
+            (Scaler::fit(ord_cells.into_iter()), ds.orders_scaler),
+            (Scaler::fit(cus_cells.into_iter()), ds.customers_scaler),
+        ] {
+            prop_assert_eq!(fitted.mean.to_bits(), stored.mean.to_bits());
+            prop_assert_eq!(fitted.std.to_bits(), stored.std.to_bits());
+        }
+
+        for v in 0..ds.n {
+            let shop = &world.shops[v];
+            let series: Vec<f32> = (in_start..fut_start)
+                .map(|m| if m >= shop.opened { ds.scaler.normalize(shop.gmv[m]) } else { 0.0 })
+                .collect();
+            prop_assert_eq!(bits(ds.gmv_row(v)), bits(&series), "gmv row {} drifted", v);
+
+            let mut temporal = vec![0.0f32; t * D_TEMPORAL];
+            for (row, m) in (in_start..fut_start).enumerate() {
+                let observed = m >= shop.opened;
+                let angle = std::f32::consts::TAU * month_of_year(m) as f32 / 12.0;
+                let cell = &mut temporal[row * D_TEMPORAL..(row + 1) * D_TEMPORAL];
+                cell[0] = angle.sin();
+                cell[1] = angle.cos();
+                cell[2] =
+                    if observed { ds.orders_scaler.normalize(shop.orders[m]) } else { 0.0 };
+                cell[3] =
+                    if observed { ds.customers_scaler.normalize(shop.customers[m]) } else { 0.0 };
+                cell[4] = if observed { 1.0 } else { 0.0 };
+            }
+            let mut flat = vec![0.0f32; t * D_TEMPORAL];
+            ds.write_temporal_row(v, &mut flat);
+            prop_assert_eq!(bits(&flat), bits(&temporal), "temporal row {} drifted", v);
+            for row in 0..t {
+                for k in 0..D_TEMPORAL {
+                    prop_assert_eq!(
+                        ds.temporal_at(v, row, k).to_bits(),
+                        temporal[row * D_TEMPORAL + k].to_bits(),
+                        "temporal_at({}, {}, {}) disagrees with the row view", v, row, k
+                    );
+                }
+            }
+
+            let mut stat = vec![0.0f32; ds.d_s];
+            stat[shop.industry as usize] = 1.0;
+            stat[cfg.n_industries + shop.region as usize] = 1.0;
+            stat[cfg.n_industries + cfg.n_regions] =
+                if shop.role == Role::Supplier { 1.0 } else { 0.0 };
+            let obs = (in_start..fut_start).filter(|&m| m >= shop.opened).count();
+            stat[cfg.n_industries + cfg.n_regions + 1] = obs.min(t) as f32 / t as f32;
+            prop_assert_eq!(bits(ds.statics_row(v)), bits(&stat), "static row {} drifted", v);
+            prop_assert_eq!(ds.observed_len[v], obs);
+
+            for (h, m) in (fut_start..fut_start + cfg.horizon).enumerate() {
+                prop_assert_eq!(ds.targets_raw_row(v)[h].to_bits(), shop.gmv[m].to_bits());
+                prop_assert_eq!(
+                    ds.targets_norm_row(v)[h].to_bits(),
+                    ds.scaler.normalize_pos(shop.gmv[m]).to_bits()
+                );
+            }
+        }
+    }
+
+    /// HALF ROUND-TRIP — the `embed-f16` cache tier's error budget, pinned
+    /// on random magnitudes spanning subnormals to near the binary16 max:
+    /// encode→decode stays within half a ulp (`2^-11` relative for normal
+    /// values, `2^-25` absolute once the value falls into the subnormal
+    /// range), and re-encoding the decoded value is exact (decoded halves
+    /// are fixed points of the conversion).
+    #[test]
+    fn f16_round_trip_within_half_ulp(
+        values in prop::collection::vec((-1.0f32..1.0, -30i32..16), 1..64),
+    ) {
+        for &(m, e) in &values {
+            let x = m * 2.0f32.powi(e); // |x| < 2^15 — no binary16 overflow
+            let h = f32_to_f16(x);
+            let rt = f16_to_f32(h);
+            let bound = x.abs() / 2048.0 + 2.0f32.powi(-25);
+            prop_assert!(
+                (rt - x).abs() <= bound,
+                "round-trip of {x} gave {rt} (err {} > bound {bound})", (rt - x).abs()
+            );
+            prop_assert_eq!(f32_to_f16(rt), h, "decoded half {rt} is not a fixed point");
         }
     }
 }
