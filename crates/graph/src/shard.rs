@@ -1,0 +1,225 @@
+//! Shop-graph sharding for shard-per-worker serving.
+//!
+//! The serving fleet pins one worker (and its own embedding-cache slice) to
+//! each shard of the shop graph; requests are routed shard-affine so a
+//! worker's cache only ever covers the nodes it can be asked about. The
+//! partition key is the **industry bucket** the supply-chain mining already
+//! groups shops by (PR 3): supply edges only ever connect shops of one
+//! industry, so keying shards by industry keeps the densest relation intra-
+//! shard, and only the sparse same-owner/shareholder edges cross shards.
+//!
+//! Industries are wildly uneven, so buckets are balanced onto shards by
+//! **shop count** with the classic longest-processing-time greedy: buckets
+//! sorted by size (largest first), each assigned to the currently
+//! least-loaded shard. The assignment is a pure function of the key
+//! sequence, so two maps built from the same world agree shard-for-shard.
+
+/// A node → shard assignment over bucketed partition keys.
+///
+/// Built once from the per-node key sequence (`u16` industry ids), then
+/// extended append-only as the world grows: a new node lands in the shard
+/// its key's bucket was assigned to (or, for a never-seen key, the
+/// currently least-loaded shard), so routing stays stable for every
+/// existing node across world churn.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    n_shards: usize,
+    /// Node id → shard id.
+    shard_of: Vec<u32>,
+    /// Partition key → shard id (dense by key; grown on demand).
+    key_shard: Vec<u32>,
+    /// Shard id → member count (the balance observable).
+    sizes: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Partition `keys[v]`-bucketed nodes onto `n_shards` shards, balancing
+    /// by shop count (LPT greedy over bucket sizes; ties broken toward the
+    /// lower shard id, bucket order by size then key so the result is
+    /// deterministic). `n_shards` is clamped to at least 1.
+    pub fn from_keys(keys: &[u16], n_shards: usize) -> Self {
+        let n_shards = n_shards.max(1);
+        let n_keys = keys.iter().map(|&k| k as usize + 1).max().unwrap_or(0);
+        let mut bucket_sizes = vec![0usize; n_keys];
+        for &k in keys {
+            bucket_sizes[k as usize] += 1;
+        }
+        let mut order: Vec<usize> = (0..n_keys).collect();
+        // Largest bucket first; equal sizes ordered by key id.
+        order.sort_by_key(|&k| (usize::MAX - bucket_sizes[k], k));
+        let mut key_shard = vec![0u32; n_keys];
+        let mut sizes = vec![0usize; n_shards];
+        for k in order {
+            let target = least_loaded(&sizes);
+            key_shard[k] = target as u32;
+            sizes[target] += bucket_sizes[k];
+        }
+        let shard_of = keys.iter().map(|&k| key_shard[k as usize]).collect();
+        Self { n_shards, shard_of, key_shard, sizes }
+    }
+
+    /// Append nodes with the given keys (world growth): each keeps its
+    /// key's existing shard; a never-seen key is bucketed onto the
+    /// currently least-loaded shard.
+    pub fn extend(&mut self, keys: &[u16]) {
+        for &k in keys {
+            let k = k as usize;
+            if k >= self.key_shard.len() {
+                let filler = least_loaded(&self.sizes) as u32;
+                self.key_shard.resize(k + 1, filler);
+            }
+            let shard = self.key_shard[k];
+            self.shard_of.push(shard);
+            self.sizes[shard as usize] += 1;
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of mapped nodes.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// True when no node is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// Home shard of `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.shard_of[node] as usize
+    }
+
+    /// Shard the key's bucket is (or would be) routed to.
+    pub fn shard_of_key(&self, key: u16) -> usize {
+        self.key_shard
+            .get(key as usize)
+            .map(|&s| s as usize)
+            .unwrap_or_else(|| least_loaded(&self.sizes))
+    }
+
+    /// Member count per shard.
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Sorted member node ids of `shard`.
+    pub fn members(&self, shard: usize) -> Vec<u32> {
+        self.shard_of
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &s)| (s as usize == shard).then_some(v as u32))
+            .collect()
+    }
+}
+
+/// Index of the smallest entry (first on ties).
+fn least_loaded(sizes: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &s) in sizes.iter().enumerate() {
+        if s < sizes[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_node_exactly_once() {
+        let keys: Vec<u16> = (0..100).map(|v| (v % 7) as u16).collect();
+        let map = ShardMap::from_keys(&keys, 3);
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.n_shards(), 3);
+        let mut counted = vec![0usize; 3];
+        for v in 0..100 {
+            counted[map.shard_of(v)] += 1;
+        }
+        assert_eq!(&counted, map.shard_sizes());
+        assert_eq!(counted.iter().sum::<usize>(), 100);
+        // members() is the inverse view of shard_of().
+        for s in 0..3 {
+            let members = map.members(s);
+            assert_eq!(members.len(), counted[s]);
+            assert!(members.iter().all(|&v| map.shard_of(v as usize) == s));
+        }
+    }
+
+    #[test]
+    fn same_key_always_lands_on_one_shard() {
+        let keys: Vec<u16> = (0..200).map(|v| (v % 11) as u16).collect();
+        let map = ShardMap::from_keys(&keys, 4);
+        for v in 0..200 {
+            assert_eq!(map.shard_of(v), map.shard_of_key(keys[v]), "node {v}");
+        }
+    }
+
+    /// LPT balance bound: with bucket sizes b_1 ≥ b_2 ≥ …, the heaviest
+    /// shard exceeds the ideal mean by at most the largest bucket — here
+    /// asserted as max − min ≤ max bucket size on a skewed world.
+    #[test]
+    fn skewed_buckets_stay_balanced_within_largest_bucket() {
+        // One giant industry (40 shops), several mid (10), a tail of 1s.
+        let mut keys = Vec::new();
+        keys.extend(std::iter::repeat_n(0u16, 40));
+        for k in 1..5u16 {
+            keys.extend(std::iter::repeat_n(k, 10));
+        }
+        keys.extend(5..15u16);
+        let map = ShardMap::from_keys(&keys, 3);
+        let max = *map.shard_sizes().iter().max().unwrap();
+        let min = *map.shard_sizes().iter().min().unwrap();
+        assert!(max - min <= 40, "imbalance {max}-{min} exceeds the largest bucket");
+        // The giant bucket is still intact on one shard.
+        assert_eq!(map.members(map.shard_of(0)).len(), map.shard_sizes()[map.shard_of(0)]);
+    }
+
+    #[test]
+    fn extend_routes_known_keys_home_and_new_keys_to_least_loaded() {
+        let keys: Vec<u16> = vec![0, 0, 0, 1, 1, 2];
+        let mut map = ShardMap::from_keys(&keys, 2);
+        let home_of_1 = map.shard_of_key(1);
+        map.extend(&[1]);
+        assert_eq!(map.len(), 7);
+        assert_eq!(map.shard_of(6), home_of_1, "appended node must join its key's shard");
+        // A never-seen key lands on the least-loaded shard at append time.
+        let lighter = map
+            .shard_sizes()
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &s)| (s, i))
+            .map(|(i, _)| i)
+            .unwrap();
+        map.extend(&[9]);
+        assert_eq!(map.shard_of(7), lighter);
+        // And that key is now sticky.
+        assert_eq!(map.shard_of_key(9), lighter);
+        let before = map.shard_of(7);
+        map.extend(&[9]);
+        assert_eq!(map.shard_of(8), before);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // Zero requested shards clamps to one; empty key set is servable.
+        let empty = ShardMap::from_keys(&[], 0);
+        assert_eq!(empty.n_shards(), 1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.shard_of_key(3), 0);
+        // More shards than shops: every shop still lands somewhere valid.
+        let map = ShardMap::from_keys(&[4, 4, 2], 8);
+        assert_eq!(map.shard_sizes().iter().sum::<usize>(), 3);
+        assert!((0..3).all(|v| map.shard_of(v) < 8));
+        // One shard swallows everything.
+        let one = ShardMap::from_keys(&[3, 1, 2, 1], 1);
+        assert!((0..4).all(|v| one.shard_of(v) == 0));
+        assert_eq!(one.shard_sizes(), &[4]);
+    }
+}

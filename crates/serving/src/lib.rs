@@ -14,10 +14,12 @@
 
 pub mod offline;
 pub mod server;
+pub mod shard;
 pub mod swap;
 
 pub use offline::{ModelArtifact, OfflinePipeline};
 pub use server::{
     linearity_r2, DeltaPublishStats, InferenceContext, ModelServer, ModelSnapshot, ServeStats,
 };
+pub use shard::{ShardSnapshot, ShardedModelServer};
 pub use swap::{Swap, SwapReader};

@@ -123,13 +123,21 @@ pub struct ServeStats {
     /// preallocated range saturates into it (see `record_batch_size`)
     /// instead of panicking the worker.
     pub per_batch_size: Vec<usize>,
+    /// Requests attributed to each **home shard** — counted where they
+    /// were served, so the vector sums to `requests` even when a stealing
+    /// worker drained another shard's queue. Empty on the unsharded paths
+    /// ([`ModelServer`] has a single implicit shard).
+    pub per_shard: Vec<usize>,
+    /// Requests served by a worker other than their home shard's pinned
+    /// one (work stealing). Always `0` on the unsharded paths.
+    pub stolen: usize,
 }
 
 /// Count one drained micro-batch of `batch_len` requests into the size
 /// histogram, saturating out-of-range sizes into the **last** bucket: a
 /// drain strategy that ever overshoots the preallocated cap (or a zero
 /// cap) must degrade the telemetry, never panic the serving worker.
-fn record_batch_size(hist: &mut [usize], batch_len: usize) {
+pub(crate) fn record_batch_size(hist: &mut [usize], batch_len: usize) {
     let bucket = batch_len.saturating_sub(1).min(hist.len().saturating_sub(1));
     if let Some(count) = hist.get_mut(bucket) {
         *count += 1;
@@ -137,12 +145,17 @@ fn record_batch_size(hist: &mut [usize], batch_len: usize) {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice; `p` in `[0, 1]`.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Nearest-rank is the value at 1-based rank `⌈p·n⌉`, clamped into
+/// `[1, n]` so `p = 0` reads the first element — never an interpolation
+/// or a half-up rounding between two samples, so a reported percentile is
+/// always a latency that actually occurred and p50 of an even-length
+/// window is the **lower** middle sample.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Per-worker serving state: a cached snapshot handle (one atomic load per
@@ -407,6 +420,24 @@ impl ModelServer {
         // the per-batch-size histogram (and a sentinel like usize::MAX
         // would try to allocate it).
         let micro_batch = micro_batch.clamp(1, shops.len().max(1));
+        // An empty batch is a zeroed measurement, not a worker spawn: no
+        // threads, no elapsed-time division (throughput stays 0, never
+        // NaN), and the telemetry vectors keep their clamped shapes.
+        if shops.is_empty() {
+            let stats = ServeStats {
+                requests: 0,
+                seconds: 0.0,
+                per_second: 0.0,
+                latency_p50: 0.0,
+                latency_p95: 0.0,
+                latency_p99: 0.0,
+                per_worker: vec![0; workers],
+                per_batch_size: vec![0; micro_batch],
+                per_shard: Vec::new(),
+                stolen: 0,
+            };
+            return (Vec::new(), stats);
+        }
         let (req_tx, req_rx) = crossbeam::channel::unbounded::<(usize, usize)>();
         let enqueue = Instant::now();
         for pair in shops.iter().copied().enumerate() {
@@ -486,6 +517,8 @@ impl ModelServer {
             latency_p99: percentile(&latencies, 0.99),
             per_worker,
             per_batch_size,
+            per_shard: Vec::new(),
+            stolen: 0,
         };
         (preds, stats)
     }
@@ -613,6 +646,38 @@ mod tests {
         let (artifact, ds, _) = pipeline.execute_month(&world);
         let server = Arc::new(ModelServer::new(&artifact, world.graph.clone(), ds, 42));
         (server, pipeline, world)
+    }
+
+    /// The nearest-rank contract, pinned at the exact window shapes the
+    /// doc/impl mismatch used to get wrong: rank `⌈p·n⌉` (clamped to
+    /// `[1, n]`), so p50 of a 2-sample window is the **smaller** element
+    /// (the old round-half-away code returned the larger) and every
+    /// reported value is a sample that actually occurred.
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.0], p), 7.0, "single sample at p={p}");
+        }
+        let two = [1.0, 2.0];
+        assert_eq!(percentile(&two, 0.0), 1.0);
+        assert_eq!(percentile(&two, 0.5), 1.0, "p50 of an even window is the lower middle");
+        assert_eq!(percentile(&two, 0.99), 2.0);
+        assert_eq!(percentile(&two, 1.0), 2.0);
+        let three = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&three, 0.0), 1.0);
+        assert_eq!(percentile(&three, 0.5), 2.0, "p50 of an odd window is the true median");
+        assert_eq!(percentile(&three, 0.99), 3.0);
+        assert_eq!(percentile(&three, 1.0), 3.0);
+        // Monotone in p, and never an interpolated value.
+        let samples = [0.25, 1.5, 4.0, 8.0, 9.5];
+        let mut last = f64::MIN;
+        for p in [0.0, 0.2, 0.5, 0.8, 0.95, 1.0] {
+            let v = percentile(&samples, p);
+            assert!(samples.contains(&v), "p={p} returned a value no request saw");
+            assert!(v >= last, "percentile not monotone at p={p}");
+            last = v;
+        }
     }
 
     #[test]
@@ -890,13 +955,30 @@ mod tests {
         assert_pred_matches(&after[0].model_space, &fresh.model_space, "post-swap batch");
     }
 
+    /// An empty request slice is a zeroed measurement: no NaN throughput,
+    /// no panic, zero latencies, and telemetry vectors that sum to zero —
+    /// the degenerate case every aggregation downstream divides by.
     #[test]
     fn empty_batch_yields_empty_stats() {
         let (server, _, _) = booted_server();
         let (preds, stats) = server.predict_many(&[], 4);
         assert!(preds.is_empty());
         assert_eq!(stats.requests, 0);
+        assert_eq!(stats.seconds, 0.0);
+        assert_eq!(stats.per_second, 0.0, "throughput of nothing is zero, not NaN");
+        assert!(stats.per_second.is_finite());
+        assert_eq!(stats.latency_p50, 0.0);
+        assert_eq!(stats.latency_p95, 0.0);
         assert_eq!(stats.latency_p99, 0.0);
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), 0);
+        assert_eq!(stats.per_batch_size.iter().sum::<usize>(), 0);
+        assert!(stats.per_shard.is_empty(), "unsharded path reports no shard attribution");
+        assert_eq!(stats.stolen, 0);
+        // The micro-batched entry point hits the same early return.
+        let (preds, stats) = server.predict_many_batched(&[], 2, 8);
+        assert!(preds.is_empty());
+        assert_eq!(stats.requests, 0);
+        assert!(stats.per_second.is_finite());
     }
 
     /// The ISSUE's hot-swap-under-load contract: readers hammer the serving
