@@ -105,6 +105,35 @@ fn main() {
         per(t_out)
     );
 
+    // ---- Publish-stage split: where a full batched republish spends its
+    // time (block-tape embeddings vs layer-0 projections vs bulk cache
+    // insert vs the final overlay freeze), against the per-node reference.
+    let s0 = Instant::now();
+    let per_node_cache = model.precompute_embeddings_per_node(&ds).into_shared();
+    let per_node_s = s0.elapsed().as_secs_f64();
+    std::hint::black_box(&per_node_cache);
+    let s1 = Instant::now();
+    let (publish_cache, stages) =
+        model.precompute_embeddings_profiled(&ds, gaia_core::PUBLISH_BLOCK);
+    let batched_s = s1.elapsed().as_secs_f64();
+    let s2 = Instant::now();
+    let publish_cache = publish_cache.into_shared();
+    let freeze_s = s2.elapsed().as_secs_f64();
+    std::hint::black_box(&publish_cache);
+    println!(
+        "publish split (n={}, block={}): per-node={:.1}ms batched={:.1}ms ({:.2}x) \
+         [embed={:.1}ms projections={:.1}ms insert={:.1}ms freeze={:.2}ms]",
+        ds.n,
+        gaia_core::PUBLISH_BLOCK,
+        1e3 * per_node_s,
+        1e3 * batched_s,
+        per_node_s / batched_s,
+        1e3 * stages.embed_seconds,
+        1e3 * stages.projection_seconds,
+        1e3 * stages.insert_seconds,
+        1e3 * freeze_s
+    );
+
     // ---- Kernel microbenches at exact model shapes. ----
     use gaia_tensor::kernels;
     let t = ds.t; // 24

@@ -1,8 +1,14 @@
 //! Emit the world-scale benchmark (`BENCH_world_scale.json`): how dataset
 //! build time, publish time (full and 1%-churn delta) and approximate
-//! resident bytes grow with `n_shops`, sweeping 1k / 10k / 100k shops —
-//! the ROADMAP's "million-shop worlds" trajectory made measurable on this
+//! resident bytes grow with `n_shops`, sweeping 1k / 10k / 100k / 10⁶
+//! shops — the ROADMAP's "million-shop worlds" trajectory reached on this
 //! container.
+//!
+//! Each row also reports `batched_publish_speedup`: the current
+//! block-batched full publish against the frozen per-node figures the
+//! previous PR committed at the same sizes ([`FROZEN_PER_NODE`]) — the
+//! before/after evidence for the batched publish path. The 10⁶ row has no
+//! frozen counterpart (the per-node path was never swept that far).
 //!
 //! Heap figures come from the `approx_heap_bytes()` accounting on
 //! [`gaia_synth::Dataset`] and [`gaia_core::EmbedCache`] (capacity ×
@@ -83,7 +89,20 @@ struct ScaleRun {
     cache_heap_bytes: usize,
     /// Stored edges in the generated graph.
     graph_edges: usize,
+    /// Frozen per-node full-publish seconds at this size from the sweep
+    /// committed before the batched publish landed ([`FROZEN_PER_NODE`]);
+    /// `null` where that sweep had no row (the 10⁶ size).
+    per_node_publish_frozen_seconds: Option<f64>,
+    /// `per_node_publish_frozen_seconds / full_publish_seconds`.
+    batched_publish_speedup: Option<f64>,
 }
+
+/// Per-node full-publish seconds committed in `BENCH_world_scale.json`
+/// before the batched publish path landed — same world seed, serving
+/// model, accounting and best-of-5 protocol, frozen here verbatim so the
+/// batched-vs-per-node speedup survives the figures being overwritten.
+const FROZEN_PER_NODE: [(usize, f64); 3] =
+    [(1_000, 0.024319945), (10_000, 0.253021983), (100_000, 2.584596091)];
 
 /// Pre-refactor nested-layout figures at 10k shops (see module docs).
 /// Measured with the same `approx_heap_bytes` accounting rules and the
@@ -175,9 +194,16 @@ fn run_one(n_shops: usize) -> ScaleRun {
     let dirty = churn(&mut churned, count, horizon);
     let (delta_publish_1pct_seconds, _) = best_of_5(|| server.publish_delta(&churned, &dirty));
 
+    let per_node_publish_frozen_seconds =
+        FROZEN_PER_NODE.iter().find(|&&(n, _)| n == n_shops).map(|&(_, s)| s);
+    let batched_publish_speedup = per_node_publish_frozen_seconds.map(|s| s / full_publish_seconds);
+
+    let speedup_note = batched_publish_speedup
+        .map(|s| format!(", {s:.2}x vs frozen per-node"))
+        .unwrap_or_default();
     println!(
         "n={n_shops:>7}: world {world_gen_seconds:.2}s, dataset {dataset_build_seconds:.3}s \
-         ({:.1} MB), full publish {full_publish_seconds:.2}s ({:.1} MB cache), \
+         ({:.1} MB), full publish {full_publish_seconds:.4}s ({:.1} MB cache){speedup_note}, \
          delta@1% {delta_publish_1pct_seconds:.4}s, {graph_edges} edges",
         dataset_heap_bytes as f64 / 1e6,
         cache_heap_bytes as f64 / 1e6,
@@ -191,6 +217,8 @@ fn run_one(n_shops: usize) -> ScaleRun {
         delta_publish_1pct_seconds,
         cache_heap_bytes,
         graph_edges,
+        per_node_publish_frozen_seconds,
+        batched_publish_speedup,
     }
 }
 
@@ -203,7 +231,8 @@ fn main() {
         return;
     }
 
-    let runs: Vec<ScaleRun> = [1_000usize, 10_000, 100_000].into_iter().map(run_one).collect();
+    let runs: Vec<ScaleRun> =
+        [1_000usize, 10_000, 100_000, 1_000_000].into_iter().map(run_one).collect();
 
     let at_10k = runs.iter().find(|r| r.n_shops == 10_000).expect("10k row");
     let dataset_build_speedup_10k = BEFORE_10K.dataset_build_seconds / at_10k.dataset_build_seconds;
@@ -220,10 +249,12 @@ fn main() {
             "World-scale sweep: dataset build, full/delta publish latency and \
              approx resident bytes vs n_shops on the flat-arena layout \
              (contiguous Dataset feature arenas + contiguous EmbedCache \
-             segments), untrained 8-channel 1-layer serving model, world seed \
-             9. pre_refactor_10k holds the same figures measured against the \
-             nested per-shop layout before this refactor (simd={}, \
-             embed_f16={})",
+             segments) with the block-batched publish path, untrained \
+             8-channel 1-layer serving model, world seed 9. Each row's \
+             batched_publish_speedup compares against the frozen per-node \
+             publish figures from the pre-batching sweep; pre_refactor_10k \
+             holds the nested per-shop layout figures from before the \
+             flat-arena refactor (simd={}, embed_f16={})",
             cfg!(feature = "simd"),
             cfg!(feature = "embed-f16"),
         ),

@@ -132,6 +132,26 @@ impl Segment {
     }
 }
 
+/// Stacked f32 payloads of one publish block for
+/// [`EmbedCache::insert_block`]: member `i` of each slice is node
+/// `nodes[i]`'s value, exactly as read off the batched publish tape —
+/// embeddings and Q/K/V at stride `T·C`, the gate projections at stride
+/// `T`.
+pub struct BlockValues<'a> {
+    /// Stacked `[B, T, C]` embeddings.
+    pub embed: &'a [f32],
+    /// Stacked `[B, T, C]` CAU query projections.
+    pub q: &'a [f32],
+    /// Stacked `[B, T, C]` CAU key projections.
+    pub k: &'a [f32],
+    /// Stacked `[B, T, C]` CAU value projections.
+    pub v: &'a [f32],
+    /// Stacked `[B, T, 1]` gate source projections.
+    pub gate_src: &'a [f32],
+    /// Stacked `[B, T, 1]` gate destination projections.
+    pub gate_dst: &'a [f32],
+}
+
 #[derive(Clone, Debug, Default)]
 pub struct EmbedCache {
     /// Shared base, segmented: index `k` covers nodes
@@ -427,6 +447,108 @@ impl EmbedCache {
         }
     }
 
+    /// Bulk-insert a publish **block**: the stacked embeddings and all five
+    /// layer-0 projection lanes of `nodes` land directly in the frozen
+    /// segment storage in one pass — one segment lookup per touched
+    /// segment and one copy-on-write clone at most, instead of `6·N`
+    /// overlay-map inserts plus a freeze. `nodes` must be sorted ascending
+    /// (the block drivers produce sorted node ranges / recompute lists), so
+    /// segment grouping is a linear scan.
+    ///
+    /// Copy-on-write contract matches [`EmbedCache::into_shared`]: a
+    /// segment still shared with a previous epoch is cloned before the
+    /// first write (the old epoch's readers never observe the new values),
+    /// while a segment this cache already owns is written in place — so a
+    /// multi-block publish touches each segment's storage once. Any stale
+    /// local-overlay entries for `nodes` are dropped: the frozen lanes now
+    /// hold the truth, and overlay entries shadow frozen ones on read.
+    pub fn insert_block(&mut self, nodes: &[usize], t: usize, c: usize, vals: &BlockValues<'_>) {
+        let b = nodes.len();
+        let tc = t * c;
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]), "insert_block: nodes must be sorted");
+        assert_eq!(vals.embed.len(), b * tc, "insert_block: embed payload size");
+        assert_eq!(vals.q.len(), b * tc, "insert_block: Q payload size");
+        assert_eq!(vals.k.len(), b * tc, "insert_block: K payload size");
+        assert_eq!(vals.v.len(), b * tc, "insert_block: V payload size");
+        assert_eq!(vals.gate_src.len(), b * t, "insert_block: gate-src payload size");
+        assert_eq!(vals.gate_dst.len(), b * t, "insert_block: gate-dst payload size");
+        match self.dims {
+            Some(dims) => assert_eq!(dims, (t, c), "insert_block: dims mismatch"),
+            None => self.dims = Some((t, c)),
+        }
+        if !self.local.is_empty() || !self.proj_local.is_empty() {
+            for node in nodes {
+                self.local.remove(node);
+                self.proj_local.remove(node);
+            }
+        }
+        let stride = node_stride(t, c);
+        if let Some(&max) = nodes.last() {
+            let max_seg = Self::segment_of(max);
+            if self.shared.len() <= max_seg {
+                self.shared.resize(max_seg + 1, None);
+            }
+        }
+        let mut i = 0;
+        while i < b {
+            let seg_idx = Self::segment_of(nodes[i]);
+            let arc = self.shared[seg_idx]
+                .get_or_insert_with(|| std::sync::Arc::new(Segment::empty(stride)));
+            assert_eq!(arc.data.len(), SEGMENT_NODES * stride, "insert_block: stride mismatch");
+            let seg = std::sync::Arc::make_mut(arc);
+            while i < b && Self::segment_of(nodes[i]) == seg_idx {
+                let off = nodes[i] % SEGMENT_NODES;
+                let block = off * stride;
+                encode_into(&mut seg.data[block..block + tc], &vals.embed[i * tc..(i + 1) * tc]);
+                seg.embed_mask |= 1 << off;
+                for (slot, src) in
+                    [(ProjSlot::Q, vals.q), (ProjSlot::K, vals.k), (ProjSlot::V, vals.v)]
+                {
+                    let (offset, ..) = slot_span(t, c, slot);
+                    let start = block + offset;
+                    encode_into(&mut seg.data[start..start + tc], &src[i * tc..(i + 1) * tc]);
+                    seg.proj_masks[slot as usize] |= 1 << off;
+                }
+                for (slot, src) in
+                    [(ProjSlot::GateSrc, vals.gate_src), (ProjSlot::GateDst, vals.gate_dst)]
+                {
+                    let (offset, ..) = slot_span(t, c, slot);
+                    let start = block + offset;
+                    encode_into(&mut seg.data[start..start + t], &src[i * t..(i + 1) * t]);
+                    seg.proj_masks[slot as usize] |= 1 << off;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Merge another cache produced over a **disjoint** node range (a
+    /// parallel publish worker's output) into this one by moving its
+    /// segment `Arc`s — no payload copies. Panics if both caches populate
+    /// the same segment: the block drivers chunk worker ranges on
+    /// [`SEGMENT_NODES`] boundaries precisely so this can never happen.
+    pub fn merge_disjoint(&mut self, other: EmbedCache) {
+        match (self.dims, other.dims) {
+            (Some(a), Some(b)) => assert_eq!(a, b, "merge_disjoint: dims mismatch"),
+            (None, Some(b)) => self.dims = Some(b),
+            _ => {}
+        }
+        if self.shared.len() < other.shared.len() {
+            self.shared.resize(other.shared.len(), None);
+        }
+        for (seg_idx, arc) in other.shared.into_iter().enumerate() {
+            if let Some(arc) = arc {
+                assert!(
+                    self.shared[seg_idx].is_none(),
+                    "merge_disjoint: segment {seg_idx} populated in both caches"
+                );
+                self.shared[seg_idx] = Some(arc);
+            }
+        }
+        self.local.extend(other.local);
+        self.proj_local.extend(other.proj_local);
+    }
+
     /// Shard slice of a frozen cache: keep only the shared segments `keep`
     /// selects, dropping the rest. Kept segments are `Arc` bumps of the
     /// **same allocations** — [`EmbedCache::segment_addr`] returns identical
@@ -547,6 +669,35 @@ pub mod inputs {
         // buffer — the dataset stores only its scaler-dependent columns.
         let f_t = g.constant_fill(&[ds.t, ds.d_t], |buf| ds.write_temporal_row(node, buf));
         let f_s = g.constant_slice(&[1, ds.d_s], ds.statics_row(node));
+        (z, f_t, f_s)
+    }
+
+    /// Stacked input triple for a publish **block** of nodes:
+    /// `(z: [B, T, 1], f_t: [B, T, d_t], f_s: [B, 1, d_s])` as rank-3
+    /// pooled constants. Member `i` holds exactly the bytes
+    /// [`node_inputs`] would enter for `nodes[i]`, so a batched forward
+    /// over the stack starts from bit-identical inputs.
+    pub fn node_inputs_batched(
+        g: &mut Graph,
+        ds: &Dataset,
+        nodes: &[usize],
+    ) -> (VarId, VarId, VarId) {
+        let b = nodes.len();
+        let z = g.constant_fill(&[b, ds.t, 1], |buf| {
+            for (dst, &node) in buf.chunks_mut(ds.t).zip(nodes) {
+                dst.copy_from_slice(ds.gmv_row(node));
+            }
+        });
+        let f_t = g.constant_fill(&[b, ds.t, ds.d_t], |buf| {
+            for (dst, &node) in buf.chunks_mut(ds.t * ds.d_t).zip(nodes) {
+                ds.write_temporal_row(node, dst);
+            }
+        });
+        let f_s = g.constant_fill(&[b, 1, ds.d_s], |buf| {
+            for (dst, &node) in buf.chunks_mut(ds.d_s).zip(nodes) {
+                dst.copy_from_slice(ds.statics_row(node));
+            }
+        });
         (z, f_t, f_s)
     }
 
@@ -712,6 +863,128 @@ mod tests {
         for s in 0..base.segment_count() {
             assert_eq!(next.segment_addr(s), base.segment_addr(s), "segment {s}");
         }
+    }
+
+    /// Stacked block payloads for `insert_block` over probe dims
+    /// `T = 1, C = 2`: per-node values distinguishable across lanes, kept
+    /// integer-valued so they survive the `embed-f16` tier bit-exactly.
+    fn block_payload(
+        nodes: &[usize],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let wide = |k: usize| nodes.iter().flat_map(move |&n| [(n + k) as f32, (k + 1) as f32]);
+        let gate = |k: usize| nodes.iter().map(move |&n| (n + k) as f32);
+        (
+            wide(0).collect(),
+            wide(1).collect(),
+            wide(2).collect(),
+            wide(3).collect(),
+            gate(4).collect(),
+            gate(5).collect(),
+        )
+    }
+
+    fn insert_probe_block(cache: &mut EmbedCache, nodes: &[usize]) {
+        let (embed, q, k, v, gs, gd) = block_payload(nodes);
+        let vals =
+            super::BlockValues { embed: &embed, q: &q, k: &k, v: &v, gate_src: &gs, gate_dst: &gd };
+        cache.insert_block(nodes, 1, 2, &vals);
+    }
+
+    #[test]
+    fn insert_block_lands_directly_in_frozen_lanes() {
+        let mut c = EmbedCache::new();
+        // Straddle a segment boundary in one call.
+        let nodes: Vec<usize> = (SEGMENT_NODES - 2..SEGMENT_NODES + 3).collect();
+        insert_probe_block(&mut c, &nodes);
+        assert_eq!(c.len(), nodes.len());
+        assert_eq!(c.cached_projections(), nodes.len());
+        for &v in &nodes {
+            assert_eq!(c.embed_vec(v), Some(vec![v as f32, 1.0]), "embed {v}");
+            assert_eq!(c.proj_vec(v, ProjSlot::Q), Some(vec![(v + 1) as f32, 2.0]));
+            assert_eq!(c.proj_vec(v, ProjSlot::K), Some(vec![(v + 2) as f32, 3.0]));
+            assert_eq!(c.proj_vec(v, ProjSlot::V), Some(vec![(v + 3) as f32, 4.0]));
+            assert_eq!(c.proj_vec(v, ProjSlot::GateSrc), Some(vec![(v + 4) as f32]));
+            assert_eq!(c.proj_vec(v, ProjSlot::GateDst), Some(vec![(v + 5) as f32]));
+        }
+        assert_eq!(c.embed_vec(SEGMENT_NODES + 3), None);
+        // Nothing staged in the overlay: freezing is a no-op that keeps
+        // every segment's storage.
+        let addrs: Vec<_> = (0..c.segment_count()).map(|s| c.segment_addr(s)).collect();
+        let frozen = c.into_shared();
+        for (s, addr) in addrs.iter().enumerate() {
+            assert_eq!(frozen.segment_addr(s), *addr, "segment {s} rebuilt by freeze");
+        }
+    }
+
+    #[test]
+    fn insert_block_is_copy_on_write_against_the_previous_epoch() {
+        let mut base = EmbedCache::new();
+        let all: Vec<usize> = (0..SEGMENT_NODES * 2).collect();
+        insert_probe_block(&mut base, &all);
+        let addr0 = base.segment_addr(0).unwrap();
+        let addr1 = base.segment_addr(1).unwrap();
+        // Next epoch: clone (Arc bumps), rewrite three nodes of segment 1.
+        let mut next = base.clone();
+        let dirty: Vec<usize> = (SEGMENT_NODES + 5..SEGMENT_NODES + 8).collect();
+        let shifted: Vec<usize> = dirty.iter().map(|&v| v + 100).collect();
+        let (embed, q, k, v, gs, gd) = block_payload(&shifted);
+        let vals =
+            super::BlockValues { embed: &embed, q: &q, k: &k, v: &v, gate_src: &gs, gate_dst: &gd };
+        next.insert_block(&dirty, 1, 2, &vals);
+        // Clean segment shared, touched segment copied before the write.
+        assert_eq!(next.segment_addr(0), Some(addr0));
+        assert_ne!(next.segment_addr(1), Some(addr1));
+        let owned_addr = next.segment_addr(1).unwrap();
+        // The previous epoch still reads its own values.
+        for &d in &dirty {
+            assert_eq!(base.embed_vec(d), Some(vec![d as f32, 1.0]), "base epoch mutated");
+            assert_eq!(next.embed_vec(d), Some(vec![(d + 100) as f32, 1.0]));
+        }
+        // Untouched neighbours in the copied segment carried over.
+        let clean = SEGMENT_NODES + 9;
+        assert_eq!(next.embed_vec(clean), Some(vec![clean as f32, 1.0]));
+        // A second block into the now-owned segment writes in place.
+        let more: Vec<usize> = (SEGMENT_NODES + 20..SEGMENT_NODES + 22).collect();
+        insert_probe_block(&mut next, &more);
+        assert_eq!(next.segment_addr(1), Some(owned_addr), "owned segment re-cloned");
+    }
+
+    #[test]
+    fn insert_block_drops_stale_overlay_shadows() {
+        let mut c = EmbedCache::new();
+        c.insert(3, probe(999));
+        c.insert_proj(3, ProjSlot::Q, probe(998));
+        insert_probe_block(&mut c, &[2, 3, 4]);
+        // The overlay entries would shadow the frozen lanes — insert_block
+        // must have dropped them.
+        assert_eq!(c.embed_vec(3), Some(vec![3.0, 1.0]));
+        assert_eq!(c.proj_vec(3, ProjSlot::Q), Some(vec![4.0, 2.0]));
+    }
+
+    #[test]
+    fn merge_disjoint_moves_worker_segments() {
+        let mut left = EmbedCache::new();
+        insert_probe_block(&mut left, &(0..SEGMENT_NODES).collect::<Vec<_>>());
+        let mut right = EmbedCache::new();
+        insert_probe_block(&mut right, &(SEGMENT_NODES..SEGMENT_NODES + 10).collect::<Vec<_>>());
+        let right_addr = right.segment_addr(1).unwrap();
+        let left_addr = left.segment_addr(0).unwrap();
+        left.merge_disjoint(right);
+        // Segments moved, not copied.
+        assert_eq!(left.segment_addr(0), Some(left_addr));
+        assert_eq!(left.segment_addr(1), Some(right_addr));
+        assert_eq!(left.len(), SEGMENT_NODES + 10);
+        assert_eq!(left.embed_vec(SEGMENT_NODES + 9), Some(vec![(SEGMENT_NODES + 9) as f32, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "merge_disjoint")]
+    fn merge_disjoint_rejects_overlapping_segments() {
+        let mut left = EmbedCache::new();
+        insert_probe_block(&mut left, &[0, 1]);
+        let mut right = EmbedCache::new();
+        insert_probe_block(&mut right, &[5]);
+        left.merge_disjoint(right);
     }
 
     /// Shard slices are Arc bumps of the master's segments: kept segments

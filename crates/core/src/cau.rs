@@ -200,6 +200,24 @@ impl ConvolutionalAttentionUnit {
             cache.insert_proj(node, slot, g.value(var).clone());
         }
     }
+
+    /// Batched publish-time half of [`Self::precompute_projections`]: Q/K/V
+    /// of a **block** of stacked embeddings `e: [B, T, C]` as one batched
+    /// conv node per projection. Member `i` is bit-identical to the
+    /// per-node `conv.forward` on embedding `i` (the batched conv contract),
+    /// so the cache lanes the block driver bulk-inserts hold exactly what
+    /// the per-node publisher would have stored.
+    pub fn precompute_projections_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        e: VarId,
+    ) -> (VarId, VarId, VarId) {
+        let q = self.lq.forward_act_batched(g, ps, e, Activation::Identity);
+        let k = self.lk.forward_act_batched(g, ps, e, Activation::Identity);
+        let v = self.lv.forward_act_batched(g, ps, e, Activation::Identity);
+        (q, k, v)
+    }
 }
 
 /// One layer-0 projection, served from the cache when present or computed

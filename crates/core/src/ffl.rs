@@ -16,7 +16,7 @@
 
 use crate::config::{GaiaConfig, GaiaVariant};
 use gaia_nn::{init, Linear, ParamId, ParamStore};
-use gaia_tensor::{Graph, Tensor, VarId};
+use gaia_tensor::{Activation, Graph, Tensor, VarId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +107,61 @@ impl FeatureFusionLayer {
                 let fs_tiled = g.matmul(ones, f_s);
                 let cat = g.concat_cols(&[z, f_t, fs_tiled]);
                 proj.forward(g, ps, cat)
+            }
+        }
+    }
+
+    /// Fuse a **block** of shops in one tape pass: `z: [B, T, 1]`,
+    /// `f_t: [B, T, D_T]`, `f_s: [B, 1, D_S]` → `S: [B, T, C]`.
+    ///
+    /// Every projection runs as one stacked GEMM over the block
+    /// ([`Graph::linear_batched`]), the per-timestep biases are tiled with
+    /// [`Graph::stack_rows`], and the concat/elementwise steps are pure
+    /// copies — so member `i` of the output is bit-identical to
+    /// [`FeatureFusionLayer::forward`] on shop `i`'s rank-2 inputs (the
+    /// publish-parity wall pins this).
+    pub fn forward_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        z: VarId,
+        f_t: VarId,
+        f_s: VarId,
+    ) -> VarId {
+        let b = {
+            let shape = g.value(z).shape();
+            assert_eq!(&shape[1..], &[self.t, 1], "FFL batched: z must be [B, T, 1]");
+            shape[0]
+        };
+        match &self.kind {
+            FflKind::Fine { w_i, b_i, w_t, b_t_steps, w_s, w_f, b_f_steps } => {
+                // (1) one stacked GEMM lifts every member's scalar series;
+                // the fused `o + b_i` epilogue matches matmul + add_bias.
+                let wi = ps.bind(g, *w_i);
+                let bi = ps.bind(g, *b_i);
+                let z_emb = g.linear_batched(z, wi, Some(bi), Activation::Identity);
+                // (2) temporal features; the per-timestep bias `[T, C]` is
+                // tiled across the block by stacking the same bound VarId.
+                let ft_emb = w_t.forward_act_batched(g, ps, f_t, Activation::Identity);
+                let bt = ps.bind(g, *b_t_steps);
+                let bt_tiled = g.stack_rows(&vec![bt; b]);
+                let ft_emb = g.add(ft_emb, bt_tiled);
+                // (3) static features, tiled across each member's window.
+                let fs_emb = w_s.forward_act_batched(g, ps, f_s, Activation::Identity);
+                let ones = g.constant_full(&[b, self.t, 1], 1.0);
+                let fs_tiled = g.matmul_strided(ones, fs_emb);
+                // (4) concatenate and fuse.
+                let cat = g.concat_cols_batched(&[z_emb, ft_emb, fs_tiled]);
+                let fused = w_f.forward_act_batched(g, ps, cat, Activation::Identity);
+                let bf = ps.bind(g, *b_f_steps);
+                let bf_tiled = g.stack_rows(&vec![bf; b]);
+                g.add(fused, bf_tiled)
+            }
+            FflKind::Coarse { proj } => {
+                let ones = g.constant_full(&[b, self.t, 1], 1.0);
+                let fs_tiled = g.matmul_strided(ones, f_s);
+                let cat = g.concat_cols_batched(&[z, f_t, fs_tiled]);
+                proj.forward_act_batched(g, ps, cat, Activation::Identity)
             }
         }
     }

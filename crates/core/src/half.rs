@@ -10,39 +10,42 @@
 
 /// Encode an `f32` as binary16 bits (round to nearest, ties to even).
 /// Overflow saturates to ±infinity; NaN payloads keep a quiet bit.
+///
+/// Branch-free except for the never-taken non-finite guard: publish-time
+/// cache encoding runs this over every lane of every node, and ReLU-gated
+/// embeddings are ~half exact zeros, so a "is this subnormal?" branch
+/// mispredicts constantly — selects keep the pipeline full and let the
+/// encode loop vectorise. The subnormal/zero case rounds by adding 0.5
+/// (`2^-1`): f32 addition is itself round-to-nearest-even, and at that
+/// magnitude its rounding granularity (`2^-24`) is exactly one
+/// half-subnormal ulp, so the sum's low mantissa bits *are* the correctly
+/// rounded half-subnormal — one float add replaces the shift/mask/
+/// tie-break cascade. The normal case is the classic integer re-bias with
+/// `0xFFF + mantissa-odd` as the ties-to-even bias; a mantissa carry
+/// overflows into the exponent (and on past 65504 into ±inf), exactly the
+/// IEEE behaviour. Equivalence with the branchy reference is pinned
+/// exhaustively over every half bit pattern and differentially over a
+/// structured f32 sweep below.
 pub fn f32_to_f16(value: f32) -> u16 {
     let bits = value.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xFF) as i32;
-    let mant = bits & 0x007F_FFFF;
-    if exp == 0xFF {
-        // Infinity or NaN; force a mantissa bit for NaN so it stays NaN.
-        let nan = if mant != 0 { 0x0200 } else { 0 };
-        return sign | 0x7C00 | nan | ((mant >> 13) as u16);
+    let abs = bits & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // ±inf or NaN; force a mantissa bit for NaN so it stays NaN.
+        let nan = if abs > 0x7F80_0000 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan | ((abs & 0x007F_FFFF) >> 13) as u16;
     }
-    let new_exp = exp - 127 + 15;
-    if new_exp >= 0x1F {
-        return sign | 0x7C00; // overflow → ±inf
-    }
-    if new_exp <= 0 {
-        // Half-subnormal (or underflow to zero below 2^-24).
-        if new_exp < -10 {
-            return sign;
-        }
-        let mant = mant | 0x0080_0000; // make the leading 1 explicit
-        let shift = (14 - new_exp) as u32; // 14..=24
-        let q = mant >> shift;
-        let rem = mant & ((1u32 << shift) - 1);
-        let halfway = 1u32 << (shift - 1);
-        let round_up = rem > halfway || (rem == halfway && (q & 1) == 1);
-        return sign | (q as u16 + round_up as u16);
-    }
-    let h = sign | ((new_exp as u16) << 10) | ((mant >> 13) as u16);
-    let rem = mant & 0x1FFF;
-    let round_up = rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1);
-    // A carry out of the mantissa bumps the exponent (and saturates to
-    // infinity at the top) — exactly the IEEE behaviour.
-    h + round_up as u16
+    // Finite overflow (≥ 65536 pre-rounding): the re-bias below would wrap
+    // the exponent, so saturate by clamping the input to the largest value
+    // that rounds to ±inf without wrapping.
+    let abs = abs.min(0x4780_0000);
+    // Half-subnormal or zero (|x| < 2^-14): float-rescale rounding.
+    const MAGIC: f32 = 0.5; // bits 126 << 23
+    let sub = (f32::from_bits(abs) + MAGIC).to_bits().wrapping_sub(MAGIC.to_bits()) as u16;
+    // Normal: integer exponent re-bias with an RTNE rounding bias.
+    let mant_odd = (abs >> 13) & 1;
+    let norm = (abs.wrapping_add(0xC800_0FFF).wrapping_add(mant_odd) >> 13) as u16;
+    sign | if abs < 113 << 23 { sub } else { norm }
 }
 
 /// Decode binary16 bits back to `f32` (exact — every half value is
@@ -75,6 +78,56 @@ pub fn f16_to_f32(h: u16) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The branchy reference encoder the branch-free one replaced — kept
+    /// verbatim so the differential test below pins the rewrite.
+    fn f32_to_f16_reference(value: f32) -> u16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+        if exp == 0xFF {
+            let nan = if mant != 0 { 0x0200 } else { 0 };
+            return sign | 0x7C00 | nan | ((mant >> 13) as u16);
+        }
+        let new_exp = exp - 127 + 15;
+        if new_exp >= 0x1F {
+            return sign | 0x7C00;
+        }
+        if new_exp <= 0 {
+            if new_exp < -10 {
+                return sign;
+            }
+            let mant = mant | 0x0080_0000;
+            let shift = (14 - new_exp) as u32;
+            let q = mant >> shift;
+            let rem = mant & ((1u32 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let round_up = rem > halfway || (rem == halfway && (q & 1) == 1);
+            return sign | (q as u16 + round_up as u16);
+        }
+        let h = sign | ((new_exp as u16) << 10) | ((mant >> 13) as u16);
+        let rem = mant & 0x1FFF;
+        let round_up = rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1);
+        h + round_up as u16
+    }
+
+    /// The branch-free encoder must agree with the branchy reference on a
+    /// structured sweep of the f32 bit space: every upper-16-bit pattern
+    /// (all signs × exponents × top mantissa bits — this alone covers
+    /// every rounding regime boundary) crossed with lower-bit patterns
+    /// chosen to sit just below / at / just above every tie threshold.
+    /// NaNs are compared exactly too: the rewrite preserves payload bits.
+    #[test]
+    fn branch_free_encoder_matches_reference() {
+        for hi in 0..=u16::MAX {
+            for lo in [0u32, 1, 0x0FFF, 0x1000, 0x1001, 0x1FFF, 0x2000, 0x5A5A, 0xFFFF] {
+                let bits = ((hi as u32) << 16) | lo;
+                let x = f32::from_bits(bits);
+                assert_eq!(f32_to_f16(x), f32_to_f16_reference(x), "bits {bits:#010x} ({x})");
+            }
+        }
+    }
 
     /// Decode → encode must be the identity on every non-NaN bit pattern:
     /// half values are exactly representable in f32, so re-encoding them

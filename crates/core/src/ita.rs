@@ -283,6 +283,24 @@ impl ItaGcnLayer {
         cache.insert_proj(node, ProjSlot::GateDst, g.value(dv).clone());
     }
 
+    /// Batched publish-time precompute over a **block** of stacked
+    /// embeddings `e: [B, T, C]`: one batched conv node per projection —
+    /// CAU Q/K/V `[B, T, C]` and the gate source/destination `[B, T, 1]`
+    /// lanes — each member bit-identical to
+    /// [`Self::precompute_node_projections`]. The caller reads the stacked
+    /// values and bulk-inserts them with [`EmbedCache::insert_block`].
+    pub fn precompute_block_projections(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        e: VarId,
+    ) -> BlockProjections {
+        let (q, k, v) = self.cau.precompute_projections_batched(g, ps, e);
+        let gate_src = self.l_s.forward_act_batched(g, ps, e, Activation::Identity);
+        let gate_dst = self.l_d.forward_act_batched(g, ps, e, Activation::Identity);
+        BlockProjections { q, k, v, gate_src, gate_dst }
+    }
+
     /// Attention weights `α_{u,·}` over the neighbours of local node `u`,
     /// plus the intra/self and per-neighbour inter attention matrices —
     /// the introspection used by the Fig 4 case study.
@@ -312,6 +330,22 @@ impl ItaGcnLayer {
         };
         AttentionDetail { intra, inter, alphas }
     }
+}
+
+/// Stacked layer-0 projection nodes from
+/// [`ItaGcnLayer::precompute_block_projections`]: Q/K/V are `[B, T, C]`,
+/// the gate projections `[B, T, 1]`, all on the caller's tape.
+pub struct BlockProjections {
+    /// CAU query projections.
+    pub q: VarId,
+    /// CAU key projections.
+    pub k: VarId,
+    /// CAU value projections.
+    pub v: VarId,
+    /// Aggregation-gate source projections (`L^s ⋆ E`).
+    pub gate_src: VarId,
+    /// Aggregation-gate destination projections (`L^d ⋆ E`).
+    pub gate_dst: VarId,
 }
 
 /// Introspection bundle from [`ItaGcnLayer::attention_detail`]; all fields

@@ -29,12 +29,12 @@ pub mod model;
 pub mod tel;
 pub mod trainer;
 
-pub use api::{EmbedCache, GraphForecaster, ProjSlot};
+pub use api::{BlockValues, EmbedCache, GraphForecaster, ProjSlot};
 pub use cau::ConvolutionalAttentionUnit;
 pub use config::{GaiaConfig, GaiaVariant};
 pub use ffl::FeatureFusionLayer;
-pub use ita::{AttentionDetail, ItaGcnLayer};
-pub use model::Gaia;
+pub use ita::{AttentionDetail, BlockProjections, ItaGcnLayer};
+pub use model::{Gaia, PublishStageProfile, PUBLISH_BLOCK};
 pub use tel::TemporalEmbeddingLayer;
 pub use trainer::{
     evaluate_loss, predict_batch_with, predict_nodes, predict_one_with, train, InferenceScratch,

@@ -68,6 +68,50 @@ impl PredictionHead {
     }
 }
 
+/// Default nodes per batched publish block: big enough that stacked GEMMs
+/// amortise weight binds and kernel dispatch across the block, small
+/// enough that one block's rank-3 activations stay cache-resident. The
+/// publish-parity wall proves the cache contents are independent of this
+/// choice.
+pub const PUBLISH_BLOCK: usize = 32;
+
+/// Worker threads for a full publish over `n` nodes: the available
+/// parallelism, capped so every worker owns at least one whole cache
+/// segment (workers write disjoint segments — see
+/// [`Gaia::precompute_embeddings_batched`]). Exactly 1 on today's
+/// single-core containers.
+fn publish_workers(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    cores.min(n.div_ceil(crate::api::SEGMENT_NODES)).max(1)
+}
+
+/// Deterministic node-range chunking for the parallel publish: `workers`
+/// contiguous ranges, each a whole number of [`crate::api::SEGMENT_NODES`]
+/// segments (the last takes the remainder), so no two ranges share a cache
+/// segment. Chunk boundaries depend only on `(n, workers)`, and per-node
+/// results are pure, so any worker count yields the same cache.
+fn publish_chunks(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let seg = crate::api::SEGMENT_NODES;
+    let segments = n.div_ceil(seg);
+    let per_worker = segments.div_ceil(workers);
+    (0..workers)
+        .map(|w| (w * per_worker * seg).min(n)..((w + 1) * per_worker * seg).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Wall-clock breakdown of one profiled publish
+/// ([`Gaia::precompute_embeddings_profiled`]), in seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PublishStageProfile {
+    /// Stacked FFL → TEL forward (input gather included).
+    pub embed_seconds: f64,
+    /// Batched layer-0 Q/K/V/gate projection convs.
+    pub projection_seconds: f64,
+    /// Reading the tape values + encoding into frozen segment storage.
+    pub insert_seconds: f64,
+}
+
 /// The Gaia model. Holds its own [`ParamStore`]; the forward pass is built
 /// per-ego-subgraph on a fresh tape (define-by-run).
 #[derive(Clone, Debug)]
@@ -234,7 +278,7 @@ impl Gaia {
         ego: &EgoSubgraph,
     ) -> (Vec<VarId>, Vec<VarId>) {
         let n = ego.len();
-        let e: Vec<VarId> = (0..n).map(|v| self.embed(g, ds, ego.nodes[v] as usize)).collect();
+        let e = self.embed_locals(g, ds, ego, None);
         let l_max = self.layers.len();
         let mut h = e.clone();
         for (li, layer) in self.layers.iter().take(l_max - 1).enumerate() {
@@ -255,7 +299,21 @@ impl Gaia {
     /// cache makes [`GraphForecaster::forward_center_cached`] skip the
     /// per-node embedding subgraph entirely; entries are bit-identical to
     /// what the forward pass computes, so predictions do not change.
+    ///
+    /// Dispatches to the batched block driver
+    /// ([`Gaia::precompute_embeddings_batched`]) with the default block
+    /// size — the publish-parity wall pins it against the per-node
+    /// reference ([`Gaia::precompute_embeddings_per_node`]).
     pub fn precompute_embeddings(&self, ds: &gaia_synth::Dataset) -> EmbedCache {
+        self.precompute_embeddings_batched(ds, PUBLISH_BLOCK)
+    }
+
+    /// Reference per-node publish loop: one tape reset and one unbatched
+    /// FFL → TEL forward per node, results staged through the local overlay
+    /// (so callers still need [`EmbedCache::into_shared`]). Kept as the
+    /// bit-exactness reference the publish-parity wall and the bench
+    /// speedup ratios compare the batched driver against.
+    pub fn precompute_embeddings_per_node(&self, ds: &gaia_synth::Dataset) -> EmbedCache {
         let mut cache = EmbedCache::new();
         let mut g = Graph::for_inference();
         for node in 0..ds.n {
@@ -272,11 +330,160 @@ impl Gaia {
         cache
     }
 
+    /// Batched publish: process nodes in fixed blocks of `block`, stacking
+    /// each block's input rows into rank-3 tensors and running **one** tape
+    /// pass per block through the batched kernels (stacked conv banks, one
+    /// stacked GEMM per dense projection), then bulk-inserting the block's
+    /// embeddings + layer-0 projections straight into the frozen segment
+    /// storage ([`EmbedCache::insert_block`]).
+    ///
+    /// Determinism contract: every cache entry is a pure function of
+    /// `(ds row, parameters)` computed by kernels that are bit-identical
+    /// per member to the per-node path, so the result is independent of
+    /// block size, chunking, and worker count — [`Gaia::precompute_embeddings_per_node`]
+    /// followed by a freeze yields the same cache (bit-exact on the scalar
+    /// build; the simd/embed-f16 tolerance tiers are measured against it).
+    ///
+    /// Parallel-ready: with >1 available core, worker threads take
+    /// disjoint node ranges chunked on [`crate::api::SEGMENT_NODES`]
+    /// boundaries — each worker owns whole cache segments, so the merge is
+    /// a move of disjoint `Arc`s ([`EmbedCache::merge_disjoint`]) and no
+    /// two workers ever write one segment. On today's single-core
+    /// containers the scoped-thread pool degenerates to the sequential
+    /// loop.
+    pub fn precompute_embeddings_batched(
+        &self,
+        ds: &gaia_synth::Dataset,
+        block: usize,
+    ) -> EmbedCache {
+        assert!(block > 0, "precompute_embeddings_batched: block size must be positive");
+        let ranges = publish_chunks(ds.n, publish_workers(ds.n));
+        if ranges.len() <= 1 {
+            let mut cache = EmbedCache::new();
+            self.precompute_range(ds, 0..ds.n, block, &mut cache);
+            return cache;
+        }
+        let parts: Vec<EmbedCache> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    scope.spawn(move || {
+                        let mut cache = EmbedCache::new();
+                        self.precompute_range(ds, range, block, &mut cache);
+                        cache
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("publish worker panicked")).collect()
+        });
+        let mut parts = parts.into_iter();
+        let mut cache = parts.next().expect("at least one publish chunk");
+        for part in parts {
+            cache.merge_disjoint(part);
+        }
+        cache
+    }
+
+    /// Sequential block loop over one node range on one reused tape.
+    fn precompute_range(
+        &self,
+        ds: &gaia_synth::Dataset,
+        range: std::ops::Range<usize>,
+        block: usize,
+        cache: &mut EmbedCache,
+    ) {
+        let mut g = Graph::for_inference();
+        let mut nodes: Vec<usize> = Vec::with_capacity(block);
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + block).min(range.end);
+            nodes.clear();
+            nodes.extend(lo..hi);
+            self.precompute_block(&mut g, ds, &nodes, cache, None);
+            lo = hi;
+        }
+    }
+
+    /// One publish block: reset the tape, run the stacked FFL → TEL
+    /// forward and the batched layer-0 projections, and bulk-insert every
+    /// lane. Full-size blocks reuse the tape's pooled buffers, so the
+    /// steady state allocates nothing fresh (pinned by a unit test).
+    /// With `profile`, per-stage wall time is accumulated (define-by-run
+    /// tapes compute eagerly, so stage boundaries are real work
+    /// boundaries).
+    fn precompute_block(
+        &self,
+        g: &mut Graph,
+        ds: &gaia_synth::Dataset,
+        nodes: &[usize],
+        cache: &mut EmbedCache,
+        mut profile: Option<&mut PublishStageProfile>,
+    ) {
+        g.reset();
+        let t0 = profile.as_ref().map(|_| std::time::Instant::now());
+        let (z, f_t, f_s) = inputs::node_inputs_batched(g, ds, nodes);
+        let s = self.ffl.forward_batched(g, &self.ps, z, f_t, f_s);
+        let e = self.tel.forward_batched(g, &self.ps, s);
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t0) {
+            p.embed_seconds += t0.elapsed().as_secs_f64();
+        }
+        let t1 = profile.as_ref().map(|_| std::time::Instant::now());
+        let layer0 = self.layers.first().expect("GaiaConfig::validate requires layers >= 1");
+        let p = layer0.precompute_block_projections(g, &self.ps, e);
+        if let (Some(prof), Some(t1)) = (profile.as_deref_mut(), t1) {
+            prof.projection_seconds += t1.elapsed().as_secs_f64();
+        }
+        let t2 = profile.as_ref().map(|_| std::time::Instant::now());
+        let (t, c) = {
+            let shape = g.value(e).shape();
+            (shape[1], shape[2])
+        };
+        let vals = crate::api::BlockValues {
+            embed: g.value(e).data(),
+            q: g.value(p.q).data(),
+            k: g.value(p.k).data(),
+            v: g.value(p.v).data(),
+            gate_src: g.value(p.gate_src).data(),
+            gate_dst: g.value(p.gate_dst).data(),
+        };
+        cache.insert_block(nodes, t, c, &vals);
+        if let (Some(prof), Some(t2)) = (profile, t2) {
+            prof.insert_seconds += t2.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Sequential profiled publish: same work as
+    /// [`Gaia::precompute_embeddings_batched`] (single-threaded), also
+    /// returning the per-stage wall-clock breakdown — the
+    /// `profile_serving` bench bin's publish section.
+    pub fn precompute_embeddings_profiled(
+        &self,
+        ds: &gaia_synth::Dataset,
+        block: usize,
+    ) -> (EmbedCache, PublishStageProfile) {
+        assert!(block > 0, "precompute_embeddings_profiled: block size must be positive");
+        let mut cache = EmbedCache::new();
+        let mut profile = PublishStageProfile::default();
+        let mut g = Graph::for_inference();
+        let mut nodes: Vec<usize> = Vec::with_capacity(block);
+        let mut lo = 0;
+        while lo < ds.n {
+            let hi = (lo + block).min(ds.n);
+            nodes.clear();
+            nodes.extend(lo..hi);
+            self.precompute_block(&mut g, ds, &nodes, &mut cache, Some(&mut profile));
+            lo = hi;
+        }
+        (cache, profile)
+    }
+
     /// Incremental counterpart of [`Gaia::precompute_embeddings`]: start
     /// from the previous epoch's frozen cache (an `Arc`-bump clone) and
-    /// recompute the embedding + layer-0 projections of `nodes` only.
-    /// Freezing the result rebuilds just the segments those nodes land in —
-    /// every clean segment keeps sharing the previous epoch's storage.
+    /// recompute the embedding + layer-0 projections of `nodes` only —
+    /// in publish blocks through the same batched path as the full
+    /// publisher, bulk-inserted copy-on-write (a touched segment is cloned
+    /// once, clean segments keep sharing the previous epoch's storage).
     ///
     /// Sound because cache entries are pure per-node functions of
     /// `(ds rows, parameters)`, never of the graph: with the same model and
@@ -291,19 +498,14 @@ impl Gaia {
         prev: &EmbedCache,
         nodes: &[u32],
     ) -> EmbedCache {
+        let mut live: Vec<usize> =
+            nodes.iter().map(|&v| v as usize).filter(|&v| v < ds.n).collect();
+        live.sort_unstable();
+        live.dedup();
         let mut cache = prev.clone();
         let mut g = Graph::for_inference();
-        for &node in nodes {
-            let node = node as usize;
-            if node >= ds.n {
-                continue;
-            }
-            g.reset();
-            let e = self.embed(&mut g, ds, node);
-            cache.insert(node, g.value(e).clone());
-            if let Some(layer0) = self.layers.first() {
-                layer0.precompute_node_projections(&mut g, &self.ps, e, node, &mut cache);
-            }
+        for chunk in live.chunks(PUBLISH_BLOCK) {
+            self.precompute_block(&mut g, ds, chunk, &mut cache, None);
         }
         cache
     }
@@ -387,6 +589,7 @@ impl GraphForecaster for Gaia {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::ProjSlot;
     use crate::config::GaiaVariant;
     use gaia_graph::extract_ego;
     use gaia_synth::{generate_dataset, WorldConfig};
@@ -397,6 +600,134 @@ mod tests {
         cfg.kernel_groups = 2;
         cfg.ego = EgoConfig { hops: 2, fanout: 4 };
         cfg
+    }
+
+    /// Build-tier comparison for publish parity: bit-exact on the scalar
+    /// build, 1e-4 relative under `simd`, 5e-3 under `embed-f16` (the
+    /// documented cache quantisation budget dominates).
+    fn assert_publish_tier(a: &[f32], b: &[f32], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length");
+        if cfg!(feature = "embed-f16") {
+            for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+                let tol = 5e-3 * y.abs().max(1.0);
+                assert!((x - y).abs() <= tol, "{ctx}[{i}]: {x} vs {y}");
+            }
+        } else if cfg!(feature = "simd") {
+            for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+                let tol = 1e-4 * y.abs().max(1.0);
+                assert!((x - y).abs() <= tol, "{ctx}[{i}]: {x} vs {y}");
+            }
+        } else {
+            assert_eq!(a, b, "{ctx}: scalar build must be bit-exact");
+        }
+    }
+
+    /// Tentpole wall (unit tier): the batched block publisher fills every
+    /// cache lane with the per-node publisher's values, across all four
+    /// model variants and a block size that straddles `n % B != 0`.
+    #[test]
+    fn batched_publish_matches_per_node_across_variants() {
+        let (_world, ds) = generate_dataset(WorldConfig::tiny());
+        for variant in
+            [GaiaVariant::Full, GaiaVariant::NoIta, GaiaVariant::NoFfl, GaiaVariant::NoTel]
+        {
+            let cfg = small_cfg(&ds).with_variant(variant);
+            let model = Gaia::new(cfg, 5);
+            let batched = model.precompute_embeddings_batched(&ds, 7);
+            let per_node = model.precompute_embeddings_per_node(&ds).into_shared();
+            assert_eq!(batched.len(), ds.n);
+            for node in 0..ds.n {
+                let label = format!("{variant:?} node {node}");
+                assert_publish_tier(
+                    &batched.embed_vec(node).unwrap(),
+                    &per_node.embed_vec(node).unwrap(),
+                    &format!("{label} embed"),
+                );
+                for slot in
+                    [ProjSlot::Q, ProjSlot::K, ProjSlot::V, ProjSlot::GateSrc, ProjSlot::GateDst]
+                {
+                    assert_publish_tier(
+                        &batched.proj_vec(node, slot).unwrap(),
+                        &per_node.proj_vec(node, slot).unwrap(),
+                        &format!("{label} {slot:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The block tape reaches a zero-fresh-alloc steady state: after the
+    /// first full-size block warms the pool, every further full block
+    /// reuses its buffers (`Graph::reset` recycling — same contract the
+    /// serving tapes pin).
+    #[test]
+    fn publish_block_tape_reaches_zero_alloc_steady_state() {
+        let (_world, ds) = generate_dataset(WorldConfig::tiny());
+        let model = Gaia::new(small_cfg(&ds), 6);
+        const BLOCK: usize = 8;
+        assert!(ds.n >= 4 * BLOCK, "world too small for a steady-state window");
+        let mut cache = EmbedCache::new();
+        let mut g = Graph::for_inference();
+        let nodes: Vec<usize> = (0..BLOCK).collect();
+        model.precompute_block(&mut g, &ds, &nodes, &mut cache, None);
+        let after_warmup = g.fresh_buffer_allocs();
+        for b in 1..4 {
+            let nodes: Vec<usize> = (b * BLOCK..(b + 1) * BLOCK).collect();
+            model.precompute_block(&mut g, &ds, &nodes, &mut cache, None);
+            assert_eq!(
+                g.fresh_buffer_allocs(),
+                after_warmup,
+                "block {b} allocated fresh tape buffers"
+            );
+        }
+    }
+
+    /// Worker chunking invariants plus end-to-end determinism: chunk
+    /// ranges tile `0..n` disjointly on segment boundaries, and running
+    /// the chunks separately then merging yields bit-identically the
+    /// sequential driver's cache (so the parallel publish is correct for
+    /// ANY worker count, provable even on a 1-core container).
+    #[test]
+    fn chunked_publish_merges_to_the_sequential_cache() {
+        let seg = crate::api::SEGMENT_NODES;
+        for (n, workers) in [(seg * 3 + 17, 3), (seg * 2, 5), (10, 4), (seg, 1)] {
+            let chunks = publish_chunks(n, workers);
+            let mut expect_start = 0;
+            for r in &chunks {
+                assert_eq!(r.start, expect_start, "chunks must tile contiguously");
+                assert!(r.start % seg == 0, "chunk start off a segment boundary");
+                assert!(r.end == n || r.end % seg == 0, "interior chunk end off a boundary");
+                expect_start = r.end;
+            }
+            assert_eq!(expect_start, n, "chunks must cover 0..n");
+        }
+        let wc = WorldConfig { n_shops: seg * 2 + 9, ..WorldConfig::tiny() };
+        let (_world, ds) = generate_dataset(wc);
+        let model = Gaia::new(small_cfg(&ds), 7);
+        let sequential = model.precompute_embeddings_batched(&ds, 12);
+        let mut merged: Option<EmbedCache> = None;
+        for range in publish_chunks(ds.n, 3) {
+            let mut part = EmbedCache::new();
+            model.precompute_range(&ds, range, 12, &mut part);
+            match merged.as_mut() {
+                Some(m) => m.merge_disjoint(part),
+                None => merged = Some(part),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.len(), sequential.len());
+        for node in 0..ds.n {
+            assert_eq!(
+                merged.embed_vec(node),
+                sequential.embed_vec(node),
+                "node {node} differs between chunked and sequential publish"
+            );
+            for slot in
+                [ProjSlot::Q, ProjSlot::K, ProjSlot::V, ProjSlot::GateSrc, ProjSlot::GateDst]
+            {
+                assert_eq!(merged.proj_vec(node, slot), sequential.proj_vec(node, slot));
+            }
+        }
     }
 
     #[test]

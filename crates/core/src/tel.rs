@@ -76,6 +76,32 @@ impl TemporalEmbeddingLayer {
         g.mul(act, gate)
     }
 
+    /// Map a **block** of fused features `S: [B, T, C]` to the stacked
+    /// temporal representations `E: [B, T, C]` in one tape pass.
+    ///
+    /// Each kernel group runs as **one** fused gate node
+    /// ([`Conv1d::forward_gated_batched`]): capture and denoise banks fold
+    /// the input on a single walk and Eq. (7)'s `ReLU ⊙ σ` product is
+    /// applied in the kernel epilogue, so the pre-gate `S^C`/`S^D` tensors
+    /// of the per-node path are never materialised. The gate expression is
+    /// elementwise bit-identical to the unfused conv+conv+mul composition,
+    /// and `concat(a₁⊙b₁, a₂⊙b₂) = concat(a₁,a₂) ⊙ concat(b₁,b₂)` bitwise,
+    /// so member `i` stays bit-identical to
+    /// [`TemporalEmbeddingLayer::forward`] on slice `i`.
+    pub fn forward_batched(&self, g: &mut Graph, ps: &ParamStore, s: VarId) -> VarId {
+        let gated: Vec<VarId> = self
+            .capture
+            .iter()
+            .zip(&self.denoise)
+            .map(|(cap, den)| cap.forward_gated_batched(g, ps, den, s))
+            .collect();
+        if gated.len() == 1 {
+            gated[0]
+        } else {
+            g.concat_cols_batched(&gated)
+        }
+    }
+
     /// Number of kernel groups in use (1 for the ablation).
     pub fn num_groups(&self) -> usize {
         self.capture.len()
@@ -150,6 +176,51 @@ mod tests {
         // All capture weights get gradient; denoise gates may rarely saturate
         // but with random init the overwhelming majority must be live.
         assert!(with_grad * 10 >= ps.len() * 9, "{with_grad}/{} params live", ps.len());
+    }
+
+    #[test]
+    fn fused_gate_matches_unfused_composition_bitwise() {
+        // The fused gate node must reproduce the conv+conv+mul composition
+        // exactly — values AND parameter gradients — or the publish-parity
+        // wall (batched publish vs per-node request path) would crack.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ps = ParamStore::new();
+        let tel = TemporalEmbeddingLayer::new(&mut ps, &cfg(), &mut rng);
+        let s = Tensor::randn(vec![6, 24, 32], 1.0, &mut rng);
+
+        let mut ga = Graph::new();
+        let sa = ga.constant(s.clone());
+        let ea = tel.forward_batched(&mut ga, &ps, sa);
+        let la = ga.sum_all(ea);
+        ga.backward(la);
+        ps.accumulate_grads(&ga);
+        let grads_a: Vec<Tensor> = ps.iter().map(|p| p.grad.clone()).collect();
+        ps.zero_grads();
+
+        // Unfused reference: per-group Relu / Sigmoid convs, concat, mul.
+        let mut gb = Graph::new();
+        let sb = gb.constant(s);
+        let cap: Vec<_> = tel
+            .capture
+            .iter()
+            .map(|c| c.forward_act_batched(&mut gb, &ps, sb, Activation::Relu))
+            .collect();
+        let den: Vec<_> = tel
+            .denoise
+            .iter()
+            .map(|c| c.forward_act_batched(&mut gb, &ps, sb, Activation::Sigmoid))
+            .collect();
+        let act = gb.concat_cols_batched(&cap);
+        let gate = gb.concat_cols_batched(&den);
+        let eb = gb.mul(act, gate);
+        let lb = gb.sum_all(eb);
+        gb.backward(lb);
+        ps.accumulate_grads(&gb);
+
+        assert_eq!(ga.value(ea).data(), gb.value(eb).data(), "fused gate values diverged");
+        for (pa, pb) in grads_a.iter().zip(ps.iter()) {
+            assert_eq!(pa.data(), pb.grad.data(), "gradient diverged for {}", pb.name);
+        }
     }
 
     #[test]

@@ -60,6 +60,31 @@ impl Linear {
         g.linear(x, w, b, act)
     }
 
+    /// Apply the layer to a `[bt, n, in_dim]` **batch** in one tape node
+    /// ([`gaia_tensor::Graph::linear_batched`]): the weights are bound once
+    /// and the stacked members share one blocked GEMM, bit-identical per
+    /// member to [`Linear::forward_act`].
+    pub fn forward_act_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        x: VarId,
+        act: Activation,
+    ) -> VarId {
+        {
+            let shape = g.value(x).shape();
+            assert_eq!(shape.len(), 3, "Linear batched: input must be [bt, n, in_dim]");
+            assert_eq!(
+                shape[2], self.in_dim,
+                "Linear batched: input has {} cols, layer expects {}",
+                shape[2], self.in_dim
+            );
+        }
+        let w = ps.bind(g, self.w);
+        let b = self.b.map(|bid| ps.bind(g, bid));
+        g.linear_batched(x, w, b, act)
+    }
+
     /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim
@@ -144,9 +169,52 @@ impl Conv1d {
         g.conv1d_act_batched(x, w, b, self.pad, act)
     }
 
+    /// Apply `ReLU(self ⋆ x) ⊙ σ(den ⋆ x)` to a `[bt, T, c_in]` batch as
+    /// **one** tape node ([`gaia_tensor::Graph::conv1d_gate_batched`]): both
+    /// banks fold the input on a single walk and the gate product happens in
+    /// the kernel epilogue, so neither pre-gate tensor is materialised.
+    /// Bit-identical to `mul(self.forward_act_batched(.., Relu),
+    /// den.forward_act_batched(.., Sigmoid))`.
+    pub fn forward_gated_batched(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        den: &Conv1d,
+        x: VarId,
+    ) -> VarId {
+        {
+            let shape = g.value(x).shape();
+            assert_eq!(shape.len(), 3, "Conv1d gated: input must be [bt, T, c_in]");
+            assert_eq!(
+                shape[2], self.c_in,
+                "Conv1d gated: input has {} channels, layer expects {}",
+                shape[2], self.c_in
+            );
+        }
+        assert_eq!(
+            (self.k, self.c_in, self.c_out, self.pad),
+            (den.k, den.c_in, den.c_out, den.pad),
+            "Conv1d gated: capture and denoise banks must share geometry"
+        );
+        let (bc, bd) = match (self.b, den.b) {
+            (Some(bc), Some(bd)) => (bc, bd),
+            _ => panic!("Conv1d gated: both banks need a bias"),
+        };
+        let wc = ps.bind(g, self.w);
+        let bc = ps.bind(g, bc);
+        let wd = ps.bind(g, den.w);
+        let bd = ps.bind(g, bd);
+        g.conv1d_gate_batched(x, wc, bc, wd, bd, self.pad)
+    }
+
     /// Kernel width.
     pub fn kernel(&self) -> usize {
         self.k
+    }
+
+    /// Input channels.
+    pub fn c_in(&self) -> usize {
+        self.c_in
     }
 
     /// Output channels.

@@ -864,6 +864,57 @@ impl Graph {
         })
     }
 
+    /// Concatenate `[bt, r, cᵢ]` batch nodes along the last axis into
+    /// `[bt, r, Σcᵢ]` — the batched counterpart of [`Graph::concat_cols`].
+    /// Pure row-wise copies, so every member is bit-identical to running
+    /// `concat_cols` on that member's rank-2 slices.
+    pub fn concat_cols_batched(&mut self, xs: &[VarId]) -> VarId {
+        assert!(!xs.is_empty(), "concat_cols_batched: no parts");
+        let (bt, rows) = {
+            let shape = self.nodes[xs[0]].value.shape();
+            assert_eq!(shape.len(), 3, "concat_cols_batched: parts must be [bt, r, c]");
+            (shape[0], shape[1])
+        };
+        let widths: Vec<usize> = xs
+            .iter()
+            .map(|&x| {
+                let p = self.nodes[x].value.shape();
+                assert_eq!(p.len(), 3, "concat_cols_batched: parts must be [bt, r, c]");
+                assert_eq!((p[0], p[1]), (bt, rows), "concat_cols_batched: member mismatch");
+                p[2]
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+        let mut v = self.pool.alloc(&[bt, rows, total]);
+        {
+            let out = v.data_mut();
+            for r in 0..bt * rows {
+                let mut offset = r * total;
+                for (&x, &w) in xs.iter().zip(&widths) {
+                    let src = &self.nodes[x].value.data()[r * w..(r + 1) * w];
+                    out[offset..offset + w].copy_from_slice(src);
+                    offset += w;
+                }
+            }
+        }
+        self.push_op(v, xs, || {
+            Box::new(move |g, _, _, pool| {
+                let mut out = Vec::with_capacity(widths.len());
+                let mut offset = 0;
+                for &w in &widths {
+                    let mut piece = pool.alloc(&[bt, rows, w]);
+                    for r in 0..bt * rows {
+                        let src = &g.data()[r * total + offset..r * total + offset + w];
+                        piece.data_mut()[r * w..(r + 1) * w].copy_from_slice(src);
+                    }
+                    out.push(piece);
+                    offset += w;
+                }
+                out
+            })
+        })
+    }
+
     /// Batched matmul with a shared right-hand side:
     /// `x: [bt, m, k] @ w: [k, n] → [bt, m, n]` as **one** blocked GEMM
     /// over the stacked members ([`kernels::matmul_batched_into`]) —
@@ -1231,20 +1282,19 @@ impl Graph {
         };
         assert_eq!(c_in, wc_in, "conv1d_act_batched: channel mismatch {c_in} vs {wc_in}");
         let mut v = self.pool.alloc(&[bt, t_len, c_out]);
-        for i in 0..bt {
-            kernels::conv1d_fused_into(
-                &self.nodes[x].value.data()[i * t_len * c_in..(i + 1) * t_len * c_in],
-                self.nodes[w].value.data(),
-                b.map(|bid| self.nodes[bid].value.data()),
-                t_len,
-                c_in,
-                c_out,
-                kw,
-                pad,
-                act,
-                &mut v.data_mut()[i * t_len * c_out..(i + 1) * t_len * c_out],
-            );
-        }
+        kernels::conv1d_fused_batched_into(
+            self.nodes[x].value.data(),
+            self.nodes[w].value.data(),
+            b.map(|bid| self.nodes[bid].value.data()),
+            bt,
+            t_len,
+            c_in,
+            c_out,
+            kw,
+            pad,
+            act,
+            v.data_mut(),
+        );
         let has_bias = b.is_some();
         let parents_arr = [x, w, b.unwrap_or(0)];
         let parents = &parents_arr[..if has_bias { 3 } else { 2 }];
@@ -1296,6 +1346,138 @@ impl Graph {
                     pool.recycle(db);
                     vec![dx, dw]
                 }
+            })
+        })
+    }
+
+    /// Batched gated conv pair — the TEL pattern
+    /// `ReLU(x ⋆ w_c + b_c) ⊙ σ(x ⋆ w_d + b_d)` as **one** kernel pass
+    /// ([`kernels::conv1d_gate_batched_into`]): both banks fold each input
+    /// element into register accumulators on a single walk and the gate
+    /// product is applied in the epilogue, so neither pre-gate tensor is
+    /// ever materialised. Elementwise bit-identical to the composition
+    /// `mul(conv1d_act(x, w_c, b_c, Relu), conv1d_act(x, w_d, b_d, Sigmoid))`.
+    ///
+    /// Backward recomputes both pre-activation tensors (one Identity conv
+    /// pass each — the trade for not storing them on the forward), then
+    /// routes `gout · σ(d) · ReLU'` and `gout · ReLU(c) · σ'` through the
+    /// standard conv backward, exactly as the unfused graph would.
+    pub fn conv1d_gate_batched(
+        &mut self,
+        x: VarId,
+        w_c: VarId,
+        b_c: VarId,
+        w_d: VarId,
+        b_d: VarId,
+        pad: PadMode,
+    ) -> VarId {
+        let (bt, t_len, c_in) = {
+            let xv = &self.nodes[x].value;
+            assert_eq!(xv.shape().len(), 3, "conv1d_gate_batched: x must be [bt, T, c_in]");
+            (xv.shape()[0], xv.shape()[1], xv.shape()[2])
+        };
+        let (kw, wc_in, c_out) = {
+            let wv = &self.nodes[w_c].value;
+            assert_eq!(wv.shape().len(), 3, "conv1d_gate_batched: w must be [k, c_in, c_out]");
+            (wv.shape()[0], wv.shape()[1], wv.shape()[2])
+        };
+        assert_eq!(c_in, wc_in, "conv1d_gate_batched: channel mismatch {c_in} vs {wc_in}");
+        assert_eq!(
+            self.nodes[w_d].value.shape(),
+            self.nodes[w_c].value.shape(),
+            "conv1d_gate_batched: bank kernels must share geometry"
+        );
+        let mut v = self.pool.alloc(&[bt, t_len, c_out]);
+        kernels::conv1d_gate_batched_into(
+            self.nodes[x].value.data(),
+            self.nodes[w_c].value.data(),
+            self.nodes[b_c].value.data(),
+            self.nodes[w_d].value.data(),
+            self.nodes[b_d].value.data(),
+            bt,
+            t_len,
+            c_in,
+            c_out,
+            kw,
+            pad,
+            v.data_mut(),
+        );
+        self.push_op(v, &[x, w_c, b_c, w_d, b_d], || {
+            Box::new(move |g, inputs, _, pool| {
+                let (x, wc, bc, wd, bd) = (inputs[0], inputs[1], inputs[2], inputs[3], inputs[4]);
+                // Recompute both pre-activation tensors.
+                let mut pre_c = pool.alloc(g.shape());
+                let mut pre_d = pool.alloc(g.shape());
+                for (pre, w, b) in [(&mut pre_c, wc, bc), (&mut pre_d, wd, bd)] {
+                    kernels::conv1d_fused_batched_into(
+                        x.data(),
+                        w.data(),
+                        Some(b.data()),
+                        bt,
+                        t_len,
+                        c_in,
+                        c_out,
+                        kw,
+                        pad,
+                        Activation::Identity,
+                        pre.data_mut(),
+                    );
+                }
+                // Gradients at each branch's pre-activation output.
+                let mut dpre_c = pool.alloc(g.shape());
+                let mut dpre_d = pool.alloc(g.shape());
+                for i in 0..g.len() {
+                    let gv = g.data()[i];
+                    let cap = Activation::Relu.apply(pre_c.data()[i]);
+                    let den = Activation::Sigmoid.apply(pre_d.data()[i]);
+                    dpre_c.data_mut()[i] = gv * den * Activation::Relu.grad_from_output(cap);
+                    dpre_d.data_mut()[i] = gv * cap * Activation::Sigmoid.grad_from_output(den);
+                }
+                pool.recycle(pre_c);
+                pool.recycle(pre_d);
+                let mut dx = pool.alloc_zeroed(&[bt, t_len, c_in]);
+                let mut dwc = pool.alloc_zeroed(&[kw, c_in, c_out]);
+                let mut dbc = pool.alloc_zeroed(&[c_out]);
+                let mut dwd = pool.alloc_zeroed(&[kw, c_in, c_out]);
+                let mut dbd = pool.alloc_zeroed(&[c_out]);
+                let mut dx_seg = pool.alloc(&[t_len, c_in]);
+                let mut dw_seg = pool.alloc(&[kw, c_in, c_out]);
+                let mut db_seg = pool.alloc(&[c_out]);
+                for (dpre, w, dw, db) in
+                    [(&dpre_c, wc, &mut dwc, &mut dbc), (&dpre_d, wd, &mut dwd, &mut dbd)]
+                {
+                    for i in 0..bt {
+                        kernels::conv1d_backward_into(
+                            &x.data()[i * t_len * c_in..(i + 1) * t_len * c_in],
+                            w.data(),
+                            &dpre.data()[i * t_len * c_out..(i + 1) * t_len * c_out],
+                            t_len,
+                            c_in,
+                            c_out,
+                            kw,
+                            pad,
+                            dx_seg.data_mut(),
+                            dw_seg.data_mut(),
+                            db_seg.data_mut(),
+                        );
+                        let dst = &mut dx.data_mut()[i * t_len * c_in..(i + 1) * t_len * c_in];
+                        for (d, &s) in dst.iter_mut().zip(dx_seg.data()) {
+                            *d += s;
+                        }
+                        for (d, &s) in dw.data_mut().iter_mut().zip(dw_seg.data()) {
+                            *d += s;
+                        }
+                        for (d, &s) in db.data_mut().iter_mut().zip(db_seg.data()) {
+                            *d += s;
+                        }
+                    }
+                }
+                pool.recycle(dx_seg);
+                pool.recycle(dw_seg);
+                pool.recycle(db_seg);
+                pool.recycle(dpre_c);
+                pool.recycle(dpre_d);
+                vec![dx, dwc, dbc, dwd, dbd]
             })
         })
     }

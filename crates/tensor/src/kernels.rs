@@ -959,6 +959,370 @@ pub fn conv1d_fused_into(
     }
 }
 
+/// One member of the batched fused conv, with the whole `[c_out]` output
+/// row held in a stack accumulator across the entire `(dk, ci)` reduction
+/// instead of being loaded/stored once per tap like
+/// [`conv1d_fused_into`]'s axpy walk.
+///
+/// Bit-identity argument: each output element accumulates
+/// `acc += x[src, ci] · w[dk, ci, o]` over the identical increasing
+/// `(dk, ci)` order as the per-node kernel. The per-node kernel's
+/// `x == 0.0` skip is deliberately dropped: folding `±0.0` terms is
+/// exact for finite kernels, and on ~50%-sparse gated inputs the
+/// unpredictable branch costs far more than the skipped FMAs (measured
+/// 2-3x on the layer-0 projection stage).
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn conv1d_member_reg<const CO: usize>(
+    xm: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    t_len: usize,
+    c_in: usize,
+    kw: usize,
+    left: usize,
+    act: Activation,
+    om: &mut [f32],
+) {
+    for t in 0..t_len {
+        let mut acc = [0.0f32; CO];
+        let dk_lo = left.saturating_sub(t);
+        let dk_hi = kw.min(t_len + left - t);
+        for dk in dk_lo..dk_hi {
+            let src = t + dk - left;
+            let x_row = &xm[src * c_in..(src + 1) * c_in];
+            let w_tap = &w[dk * c_in * CO..(dk + 1) * c_in * CO];
+            for (ci, &xv) in x_row.iter().enumerate() {
+                let w_row = &w_tap[ci * CO..(ci + 1) * CO];
+                for j in 0..CO {
+                    acc[j] += xv * w_row[j];
+                }
+            }
+        }
+        let o_row = &mut om[t * CO..(t + 1) * CO];
+        // `+ 0.0` canonicalises a possible `-0.0` accumulator (reachable
+        // only when every folded term was `±0.0`, i.e. an all-zero input
+        // row) to the `+0.0` the zero-skipping per-node kernel produces;
+        // it is the identity on every other value.
+        match bias {
+            Some(b) => {
+                for j in 0..CO {
+                    o_row[j] = act.apply((acc[j] + 0.0) + b[j]);
+                }
+            }
+            None => {
+                for j in 0..CO {
+                    o_row[j] = act.apply(acc[j] + 0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Like [`conv1d_member_reg`] but for arbitrary runtime `c_out`, walked in
+/// 8-wide column chunks so the accumulators still live in registers (a
+/// runtime-length accumulator would fall back to per-tap memory traffic —
+/// the exact cost this kernel exists to remove). Each output element's
+/// fold is unchanged; chunks only partition the independent columns, so
+/// this stays bit-identical to [`conv1d_member_reg`].
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn conv1d_member_reg_dyn(
+    xm: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    t_len: usize,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    left: usize,
+    act: Activation,
+    om: &mut [f32],
+) {
+    const CH: usize = 8;
+    for t in 0..t_len {
+        let dk_lo = left.saturating_sub(t);
+        let dk_hi = kw.min(t_len + left - t);
+        let o_row = &mut om[t * c_out..(t + 1) * c_out];
+        let mut j0 = 0;
+        while j0 < c_out {
+            let jw = CH.min(c_out - j0);
+            let mut acc = [0.0f32; CH];
+            for dk in dk_lo..dk_hi {
+                let src = t + dk - left;
+                let x_row = &xm[src * c_in..(src + 1) * c_in];
+                let w_tap = &w[dk * c_in * c_out..(dk + 1) * c_in * c_out];
+                if jw == CH {
+                    for (ci, &xv) in x_row.iter().enumerate() {
+                        let w_row = &w_tap[ci * c_out + j0..ci * c_out + j0 + CH];
+                        for l in 0..CH {
+                            acc[l] += xv * w_row[l];
+                        }
+                    }
+                } else {
+                    for (ci, &xv) in x_row.iter().enumerate() {
+                        let w_row = &w_tap[ci * c_out + j0..ci * c_out + j0 + jw];
+                        for l in 0..jw {
+                            acc[l] += xv * w_row[l];
+                        }
+                    }
+                }
+            }
+            // Same `-0.0` canonicalisation as [`conv1d_member_reg`].
+            match bias {
+                Some(b) => {
+                    for l in 0..jw {
+                        o_row[j0 + l] = act.apply((acc[l] + 0.0) + b[j0 + l]);
+                    }
+                }
+                None => {
+                    for l in 0..jw {
+                        o_row[j0 + l] = act.apply(acc[l] + 0.0);
+                    }
+                }
+            }
+            j0 += jw;
+        }
+    }
+}
+
+/// Batched fused conv1d over `bt` stacked members: `x: [bt, t_len, c_in]`,
+/// shared `w: [kw, c_in, c_out]`, `out: [bt, t_len, c_out]`. Every member's
+/// output is **bit-identical** to [`conv1d_fused_into`] on that member (see
+/// `conv1d_member_reg` for the fold argument); the batched form exists so
+/// the per-tap output-row traffic of the axpy walk collapses into stack
+/// accumulators, which is where the publish path's conv time goes.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_fused_batched_into(
+    x: &[f32],
+    w: &[f32],
+    bias: Option<&[f32]>,
+    bt: usize,
+    t_len: usize,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    pad: PadMode,
+    act: Activation,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), bt * t_len * c_in, "conv1d batched: x buffer");
+    assert_eq!(w.len(), kw * c_in * c_out, "conv1d batched: w buffer");
+    assert_eq!(out.len(), bt * t_len * c_out, "conv1d batched: out buffer");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv1d batched: bias length");
+    }
+    let left = conv_left_pad(kw, pad);
+    macro_rules! run {
+        ($co:literal) => {
+            for i in 0..bt {
+                conv1d_member_reg::<$co>(
+                    &x[i * t_len * c_in..(i + 1) * t_len * c_in],
+                    w,
+                    bias,
+                    t_len,
+                    c_in,
+                    kw,
+                    left,
+                    act,
+                    &mut out[i * t_len * c_out..(i + 1) * t_len * c_out],
+                );
+            }
+        };
+    }
+    match c_out {
+        1 => run!(1),
+        2 => run!(2),
+        4 => run!(4),
+        8 => run!(8),
+        16 => run!(16),
+        24 => run!(24),
+        32 => run!(32),
+        co if co <= 32 => {
+            for i in 0..bt {
+                conv1d_member_reg_dyn(
+                    &x[i * t_len * c_in..(i + 1) * t_len * c_in],
+                    w,
+                    bias,
+                    t_len,
+                    c_in,
+                    c_out,
+                    kw,
+                    left,
+                    act,
+                    &mut out[i * t_len * c_out..(i + 1) * t_len * c_out],
+                );
+            }
+        }
+        _ => {
+            for i in 0..bt {
+                conv1d_fused_into(
+                    &x[i * t_len * c_in..(i + 1) * t_len * c_in],
+                    w,
+                    bias,
+                    t_len,
+                    c_in,
+                    c_out,
+                    kw,
+                    pad,
+                    act,
+                    &mut out[i * t_len * c_out..(i + 1) * t_len * c_out],
+                );
+            }
+        }
+    }
+}
+
+/// One member of the batched **gated conv pair** (the TEL pattern
+/// `ReLU(capture ⋆ x) ⊙ σ(denoise ⋆ x)`): both convolutions share the
+/// input walk, so each `x` element is loaded once and folded into two
+/// register accumulators, and the gate product is applied in the epilogue
+/// while both rows are still in registers — one pass instead of two convs,
+/// and no materialised pre-gate tensors.
+///
+/// Bit-identity: each accumulator replays [`conv1d_member_reg`]'s exact
+/// `(dk, ci)` fold (same `-0.0` canonicalisation), and the epilogue
+/// computes `act(acc_c + b_c) · σ(acc_d + b_d)` — elementwise identical to
+/// convolving each bank separately and multiplying the results.
+#[inline(always)]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn conv1d_member_gate<const CO: usize>(
+    xm: &[f32],
+    w_c: &[f32],
+    b_c: &[f32],
+    w_d: &[f32],
+    b_d: &[f32],
+    t_len: usize,
+    c_in: usize,
+    kw: usize,
+    left: usize,
+    om: &mut [f32],
+) {
+    for t in 0..t_len {
+        let mut acc_c = [0.0f32; CO];
+        let mut acc_d = [0.0f32; CO];
+        let dk_lo = left.saturating_sub(t);
+        let dk_hi = kw.min(t_len + left - t);
+        for dk in dk_lo..dk_hi {
+            let src = t + dk - left;
+            let x_row = &xm[src * c_in..(src + 1) * c_in];
+            let wc_tap = &w_c[dk * c_in * CO..(dk + 1) * c_in * CO];
+            let wd_tap = &w_d[dk * c_in * CO..(dk + 1) * c_in * CO];
+            for (ci, &xv) in x_row.iter().enumerate() {
+                let wc_row = &wc_tap[ci * CO..(ci + 1) * CO];
+                let wd_row = &wd_tap[ci * CO..(ci + 1) * CO];
+                for j in 0..CO {
+                    acc_c[j] += xv * wc_row[j];
+                }
+                for j in 0..CO {
+                    acc_d[j] += xv * wd_row[j];
+                }
+            }
+        }
+        let o_row = &mut om[t * CO..(t + 1) * CO];
+        // Same `-0.0` canonicalisation as [`conv1d_member_reg`].
+        for j in 0..CO {
+            let cap = Activation::Relu.apply((acc_c[j] + 0.0) + b_c[j]);
+            let den = Activation::Sigmoid.apply((acc_d[j] + 0.0) + b_d[j]);
+            o_row[j] = cap * den;
+        }
+    }
+}
+
+/// Batched gated conv pair over `bt` stacked members:
+/// `out[i] = ReLU(x[i] ⋆ w_c + b_c) ⊙ σ(x[i] ⋆ w_d + b_d)` with
+/// `x: [bt, t_len, c_in]`, both kernels `[kw, c_in, c_out]`, biases
+/// `[c_out]`, `out: [bt, t_len, c_out]`. Member `i` is elementwise
+/// bit-identical to two [`conv1d_fused_into`] passes (ReLU / Sigmoid
+/// epilogues) multiplied together — see `conv1d_member_gate`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv1d_gate_batched_into(
+    x: &[f32],
+    w_c: &[f32],
+    b_c: &[f32],
+    w_d: &[f32],
+    b_d: &[f32],
+    bt: usize,
+    t_len: usize,
+    c_in: usize,
+    c_out: usize,
+    kw: usize,
+    pad: PadMode,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), bt * t_len * c_in, "conv1d gate batched: x buffer");
+    assert_eq!(w_c.len(), kw * c_in * c_out, "conv1d gate batched: w_c buffer");
+    assert_eq!(w_d.len(), kw * c_in * c_out, "conv1d gate batched: w_d buffer");
+    assert_eq!(b_c.len(), c_out, "conv1d gate batched: b_c length");
+    assert_eq!(b_d.len(), c_out, "conv1d gate batched: b_d length");
+    assert_eq!(out.len(), bt * t_len * c_out, "conv1d gate batched: out buffer");
+    let left = conv_left_pad(kw, pad);
+    macro_rules! run {
+        ($co:literal) => {
+            for i in 0..bt {
+                conv1d_member_gate::<$co>(
+                    &x[i * t_len * c_in..(i + 1) * t_len * c_in],
+                    w_c,
+                    b_c,
+                    w_d,
+                    b_d,
+                    t_len,
+                    c_in,
+                    kw,
+                    left,
+                    &mut out[i * t_len * c_out..(i + 1) * t_len * c_out],
+                );
+            }
+        };
+    }
+    match c_out {
+        1 => run!(1),
+        2 => run!(2),
+        4 => run!(4),
+        8 => run!(8),
+        16 => run!(16),
+        32 => run!(32),
+        _ => {
+            // Rare widths (model configs use powers of two ≤ 32): fall back
+            // to the literal two-conv + multiply composition per member,
+            // which is the bit-identity reference by construction.
+            let mut cap = vec![0.0f32; t_len * c_out];
+            let mut den = vec![0.0f32; t_len * c_out];
+            for i in 0..bt {
+                let xm = &x[i * t_len * c_in..(i + 1) * t_len * c_in];
+                conv1d_fused_into(
+                    xm,
+                    w_c,
+                    Some(b_c),
+                    t_len,
+                    c_in,
+                    c_out,
+                    kw,
+                    pad,
+                    Activation::Relu,
+                    &mut cap,
+                );
+                conv1d_fused_into(
+                    xm,
+                    w_d,
+                    Some(b_d),
+                    t_len,
+                    c_in,
+                    c_out,
+                    kw,
+                    pad,
+                    Activation::Sigmoid,
+                    &mut den,
+                );
+                let om = &mut out[i * t_len * c_out..(i + 1) * t_len * c_out];
+                for ((o, &a), &b) in om.iter_mut().zip(&cap).zip(&den) {
+                    *o = a * b;
+                }
+            }
+        }
+    }
+}
+
 /// Gradients of the (pre-activation) conv1d with respect to input, kernel
 /// and bias, written into caller buffers. `gout` must already be the
 /// gradient at the **pre-activation** output (callers of the fused kernel

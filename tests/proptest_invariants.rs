@@ -3,7 +3,7 @@
 
 use gaia_core::half::{f16_to_f32, f32_to_f16};
 use gaia_core::trainer::{predict_batch_with, predict_one_with, InferenceScratch};
-use gaia_core::{Gaia, GaiaConfig};
+use gaia_core::{Gaia, GaiaConfig, ProjSlot};
 use gaia_graph::{extract_ego, Edge, EdgeType, EgoConfig, EsellerGraph};
 use gaia_serving::{ModelArtifact, ModelServer, ShardedModelServer};
 use gaia_synth::{
@@ -705,6 +705,82 @@ proptest! {
             } else {
                 prop_assert_eq!(&d.model_space, &f.model_space,
                     "shop {} diverged bitwise on the scalar build", shop);
+            }
+        }
+    }
+
+    /// PUBLISH PARITY WALL — the batched publish path is a pure
+    /// performance rewrite of the per-node reference: for random worlds
+    /// (sized to straddle the 64-node cache segment boundary) and random
+    /// block sizes (including the degenerate `B = 1` and sizes that leave
+    /// a ragged tail, `ds.n % B != 0`), the rank-3 block driver must
+    /// reproduce every frozen lane — the embedding plus all five layer-0
+    /// projections — for every node. Scalar build: bit-exact; SIMD build:
+    /// within 1e-4 relative; `embed-f16`: within 5e-3 relative (one
+    /// half-precision round-trip on each side).
+    #[test]
+    fn batched_publish_matches_per_node(
+        world_seed in 0u64..10_000,
+        n_shops in 20usize..90,
+        block in 1usize..=48,
+    ) {
+        let wc = WorldConfig { n_shops, seed: world_seed, ..WorldConfig::tiny() };
+        let (_world, ds) = generate_dataset(wc);
+        let mut cfg = GaiaConfig::new(ds.t, ds.horizon, ds.d_t, ds.d_s);
+        cfg.channels = 8;
+        cfg.kernel_groups = 2;
+        cfg.layers = 1;
+        cfg.ego = EgoConfig { hops: 1, fanout: 3 };
+        // Publish parity is a property of the precompute paths, not of
+        // training — an untrained deterministic model pins it just as hard.
+        let model = Gaia::new(cfg, world_seed ^ 0xB10C);
+
+        let batched = model.precompute_embeddings_batched(&ds, block);
+        let reference = model.precompute_embeddings_per_node(&ds).into_shared();
+
+        const SLOTS: [ProjSlot; 5] =
+            [ProjSlot::Q, ProjSlot::K, ProjSlot::V, ProjSlot::GateSrc, ProjSlot::GateDst];
+        for node in 0..ds.n {
+            let mut lanes: Vec<(&str, Vec<f32>, Vec<f32>)> = Vec::with_capacity(6);
+            lanes.push((
+                "embed",
+                batched.embed_vec(node).expect("batched publish must cover every node"),
+                reference.embed_vec(node).expect("per-node publish must cover every node"),
+            ));
+            for slot in SLOTS {
+                lanes.push((
+                    "proj",
+                    batched.proj_vec(node, slot).expect("batched projections missing"),
+                    reference.proj_vec(node, slot).expect("per-node projections missing"),
+                ));
+            }
+            for (lane, got, want) in lanes {
+                prop_assert_eq!(got.len(), want.len());
+                if cfg!(feature = "embed-f16") {
+                    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                        let tol = 5e-3f32 * b.abs().max(1.0);
+                        prop_assert!(
+                            (a - b).abs() <= tol,
+                            "node {} {} [{}] block {}: batched {} vs per-node {}",
+                            node, lane, i, block, a, b
+                        );
+                    }
+                } else if cfg!(feature = "simd") {
+                    for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                        let tol = 1e-4f32 * b.abs().max(1.0);
+                        prop_assert!(
+                            (a - b).abs() <= tol,
+                            "node {} {} [{}] block {}: batched {} vs per-node {}",
+                            node, lane, i, block, a, b
+                        );
+                    }
+                } else {
+                    prop_assert_eq!(
+                        &got, &want,
+                        "node {} {} diverged bitwise on the scalar build (block {})",
+                        node, lane, block
+                    );
+                }
             }
         }
     }
